@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 5: activation-function profiles — the parameterized sigmoid
+ * f_a(x) = 1/(1+e^{-a x}) for a = 1..16 next to the [0/1] step
+ * function, showing how the sigmoid morphs into the step as `a` grows.
+ * Emits the plotted series as CSV and prints key samples.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "neuro/common/csv.h"
+#include "neuro/common/table.h"
+#include "neuro/mlp/activation.h"
+
+int
+main()
+{
+    using namespace neuro;
+    const std::vector<float> slopes = {1, 2, 4, 8, 16};
+
+    CsvWriter csv("bench_fig5_activations.csv",
+                  {"x", "a1", "a2", "a4", "a8", "a16", "step"});
+    for (float x = -5.0f; x <= 5.0f; x += 0.1f) {
+        std::vector<double> row{x};
+        for (float a : slopes) {
+            const mlp::Activation f(mlp::ActivationKind::ParamSigmoid, a);
+            row.push_back(f.apply(x));
+        }
+        const mlp::Activation step(mlp::ActivationKind::Step);
+        row.push_back(step.apply(x));
+        csv.writeRow(row);
+    }
+
+    TextTable table("Figure 5 (activation profiles: f_a(x) at sample "
+                    "points)");
+    table.setHeader({"x", "a=1", "a=2", "a=4", "a=8", "a=16", "step"});
+    for (float x : {-2.0f, -0.5f, -0.1f, 0.0f, 0.1f, 0.5f, 2.0f}) {
+        std::vector<std::string> row{TextTable::fmt(x, 1)};
+        for (float a : slopes) {
+            const mlp::Activation f(mlp::ActivationKind::ParamSigmoid, a);
+            row.push_back(TextTable::fmt(f.apply(x), 3));
+        }
+        const mlp::Activation step(mlp::ActivationKind::Step);
+        row.push_back(TextTable::fmt(step.apply(x), 0));
+        table.addRow(row);
+    }
+    table.addNote("as a grows the sigmoid converges pointwise to the "
+                  "step function (except at x=0)");
+    table.print(std::cout);
+
+    // Quantify convergence: max |f_a - step| away from the origin.
+    std::cout << "max |f_a(x) - step(x)| over |x| >= 0.25:\n";
+    const mlp::Activation step(mlp::ActivationKind::Step);
+    for (float a : slopes) {
+        const mlp::Activation f(mlp::ActivationKind::ParamSigmoid, a);
+        float worst = 0.0f;
+        for (float x = -5.0f; x <= 5.0f; x += 0.01f) {
+            if (std::abs(x) < 0.25f)
+                continue;
+            worst = std::max(worst,
+                             std::abs(f.apply(x) - step.apply(x)));
+        }
+        std::cout << "  a=" << a << ": " << TextTable::fmt(worst, 4)
+                  << "\n";
+    }
+    return 0;
+}

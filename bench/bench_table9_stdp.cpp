@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 9: hardware features of the SNN with online learning — the
+ * folded SNNwt augmented with the per-neuron STDP circuit (Figures 12
+ * and 13), and the resulting overhead ratios the paper's conclusion
+ * rests on ("the hardware overhead of implementing STDP is quite
+ * small").
+ */
+
+#include <iostream>
+
+#include "neuro/common/table.h"
+#include "neuro/core/reports.h"
+#include "neuro/hw/stdp_hw.h"
+
+int
+main()
+{
+    using namespace neuro;
+    namespace paper = core::paper;
+
+    const hw::SnnTopology snn{784, 300};
+
+    TextTable table("Table 9 (SNN with online learning / STDP)");
+    table.setHeader({"ni", "Area noSRAM (mm2)", "Total area (mm2)",
+                     "Delay (ns)", "Energy (mJ)"});
+    for (const auto &pub : paper::kTable9) {
+        const hw::Design design = hw::buildFoldedSnnStdp(snn, pub.ni);
+        table.addRow(
+            {TextTable::num(static_cast<long long>(pub.ni)),
+             core::vsPaper(design.areaNoSramMm2(), pub.areaNoSramMm2),
+             core::vsPaper(design.totalAreaMm2(), pub.totalAreaMm2),
+             core::vsPaper(design.clockNs(), pub.delayNs),
+             core::vsPaper(design.totalEnergyPerImageUj() / 1000.0,
+                           pub.energyMj)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\noverhead vs inference-only SNNwt (paper: area "
+                 "1.34x-1.93x, delay <= +7%, energy 1.02x-1.50x):\n";
+    for (std::size_t ni : {1UL, 4UL, 8UL, 16UL}) {
+        const hw::StdpOverhead o = hw::stdpOverhead(snn, ni);
+        std::cout << "  ni=" << ni << ": area "
+                  << TextTable::fmt(o.areaRatio) << "x, delay "
+                  << TextTable::fmt(o.delayRatio) << "x, energy "
+                  << TextTable::fmt(o.energyRatio) << "x\n";
+    }
+    std::cout << "\nconclusion check: STDP adds well under one SNNwt of "
+                 "area -- online learning is cheap where it is needed.\n";
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Section 5: TrueNorth comparison — our best-effort TrueNorth-core
+ * reimplementation (1024 axons x 256 neurons, binary crossbar, 4 axon
+ * types, 1 MHz) against the folded SNNwot at ni=1, on area, speed,
+ * energy and accuracy. Accuracy comes from quantizing a trained
+ * 256-neuron SNN into the TrueNorth weight format.
+ */
+
+#include <iostream>
+
+#include "neuro/common/config.h"
+#include "neuro/common/rng.h"
+#include "neuro/common/table.h"
+#include "neuro/core/experiment.h"
+#include "neuro/core/reports.h"
+#include "neuro/hw/folded.h"
+#include "neuro/hw/truenorth.h"
+#include "neuro/snn/labeling.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace neuro;
+    namespace paper = core::paper;
+    Config cfg;
+    cfg.parseEnv();
+    cfg.parseArgs(argc, argv);
+    const auto train =
+        static_cast<std::size_t>(cfg.getInt("train", 3000));
+    const auto test = static_cast<std::size_t>(cfg.getInt("test", 800));
+
+    // --- Functional side: train a 256-neuron SNN, quantize to the
+    // TrueNorth format, evaluate both count-based forward paths. ---
+    core::Workload w = core::makeMnistWorkload(train, test, 1);
+    snn::SnnConfig config =
+        core::defaultSnnConfig(w, w.data.train.size());
+    config.numNeurons = 256; // one TrueNorth core.
+    Rng rng(7);
+    snn::SnnNetwork net(config, rng);
+    snn::SnnStdpTrainer trainer(config);
+    snn::SnnTrainConfig snn_train;
+    snn_train.epochs = scaled(3, 1);
+    trainer.train(net, w.data.train, snn_train);
+
+    const auto labels =
+        trainer.labelNeurons(net, w.data.train, snn::EvalMode::Wot, 8);
+    const double snnwot_acc = trainer
+        .evaluate(net, labels, w.data.test, snn::EvalMode::Wot, 9)
+        .accuracy;
+
+    // Quantize the same weights into binary-crossbar + 4 type weights.
+    const hw::TrueNorthFunctional tn(net.weights());
+    const snn::SpikeEncoder &encoder = trainer.encoder();
+    // Re-label under the TrueNorth forward path, then evaluate.
+    snn::SelfLabeling tn_labeling(config.numNeurons,
+                                  w.data.train.numClasses());
+    auto tn_winner = [&](const datasets::Sample &sample) {
+        std::vector<uint8_t> counts(sample.pixels.size());
+        for (std::size_t p = 0; p < counts.size(); ++p)
+            counts[p] = encoder.spikeCount(sample.pixels[p]);
+        return tn.forward(counts.data());
+    };
+    for (std::size_t i = 0; i < w.data.train.size(); ++i) {
+        tn_labeling.record(
+            static_cast<std::size_t>(tn_winner(w.data.train[i])),
+            w.data.train[i].label);
+    }
+    const auto tn_labels =
+        tn_labeling.finalize(w.data.train.classHistogram());
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < w.data.test.size(); ++i) {
+        const int winner = tn_winner(w.data.test[i]);
+        if (tn_labels[static_cast<std::size_t>(winner)] ==
+            w.data.test[i].label) {
+            ++correct;
+        }
+    }
+    const double tn_acc = static_cast<double>(correct) /
+        static_cast<double>(w.data.test.size());
+
+    // --- Hardware side. ---
+    const hw::Design core_design = hw::buildTrueNorthCore();
+    const hw::Design wot = hw::buildFoldedSnnWot({784, 300}, 1);
+
+    TextTable table("Section 5 (TrueNorth core vs folded SNNwot ni=1)");
+    table.setHeader({"Metric", "TrueNorth (reimpl.)", "SNNwot ni=1",
+                     "Paper (TN vs SNNwot)"});
+    table.addRow({"area (mm2)",
+                  TextTable::fmt(core_design.totalAreaMm2()),
+                  TextTable::fmt(wot.totalAreaMm2()),
+                  "3.30 vs 3.17"});
+    table.addRow({"time / image (us)",
+                  TextTable::fmt(core_design.timePerImageNs() / 1000.0),
+                  TextTable::fmt(wot.timePerImageNs() / 1000.0),
+                  "1024 vs 0.98"});
+    table.addRow({"energy / image (uJ)",
+                  TextTable::fmt(core_design.totalEnergyPerImageUj()),
+                  TextTable::fmt(wot.totalEnergyPerImageUj()),
+                  "2.48 vs 1.03"});
+    table.addRow({"accuracy (%)", TextTable::pct(tn_acc),
+                  TextTable::pct(snnwot_acc), "89.0 vs 90.85"});
+    table.addNote("TrueNorth format costs accuracy (binary crossbar + "
+                  "4 axon-type weights; quantization error " +
+                  TextTable::fmt(tn.quantizationError(), 1) +
+                  " weight units) and runs 1000x slower at 1 MHz");
+    table.print(std::cout);
+
+    std::cout << (snnwot_acc >= tn_acc - 0.01 &&
+                          wot.timePerImageNs() <
+                              core_design.timePerImageNs()
+                      ? "RESULT: SNNwot beats the TrueNorth-format core "
+                        "on speed and accuracy (reproduced)\n"
+                      : "RESULT: unexpected ordering\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Augmentation study: the paper compares against Simard et al.'s 98.4%
+ * MLP, which was trained on *distorted* data, while the paper itself
+ * uses "the full 60,000 non-distorted MNIST images". This example
+ * quantifies what that choice is worth: train the MLP on a small clean
+ * set vs the same set enriched with affine-warped copies, and evaluate
+ * both on a harder (jittered) test set.
+ *
+ * Run:  ./augmentation_study [train=800] [test=600] [copies=2]
+ */
+
+#include <cstdio>
+
+#include "neuro/common/config.h"
+#include "neuro/common/rng.h"
+#include "neuro/datasets/augment.h"
+#include "neuro/datasets/synth_digits.h"
+#include "neuro/mlp/backprop.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace neuro;
+    Config cfg;
+    cfg.parseEnv();
+    cfg.parseArgs(argc, argv);
+    const auto train_size =
+        static_cast<std::size_t>(cfg.getInt("train", 800));
+    const auto test_size =
+        static_cast<std::size_t>(cfg.getInt("test", 600));
+    const auto copies =
+        static_cast<std::size_t>(cfg.getInt("copies", 2));
+
+    // A small clean training set and a deliberately harder test set
+    // (stronger jitter and noise than the training distribution).
+    datasets::SynthDigitsOptions train_opt;
+    train_opt.trainSize = train_size;
+    train_opt.testSize = 1;
+    train_opt.maxRotation = 0.1f;
+    train_opt.maxTranslate = 0.8f;
+    train_opt.noiseStddev = 4.0f;
+    const datasets::Dataset clean =
+        datasets::makeSynthDigits(train_opt).train;
+
+    datasets::SynthDigitsOptions test_opt;
+    test_opt.trainSize = 1;
+    test_opt.testSize = test_size;
+    test_opt.seed = 99;
+    test_opt.maxRotation = 0.3f;
+    test_opt.maxTranslate = 2.5f;
+    test_opt.noiseStddev = 14.0f;
+    const datasets::Dataset hard_test =
+        datasets::makeSynthDigits(test_opt).test;
+
+    datasets::AugmentOptions aug;
+    aug.maxRotation = 0.25f;
+    aug.maxTranslate = 2.0f;
+    aug.noiseStddev = 10.0f;
+    const datasets::Dataset augmented =
+        datasets::augment(clean, copies, aug, 7);
+    std::printf("training sets: clean %zu images, augmented %zu images "
+                "(x%zu warped copies)\n",
+                clean.size(), augmented.size(), copies + 1);
+
+    mlp::MlpConfig config;
+    config.layerSizes = {clean.inputSize(), 40, 10};
+    mlp::TrainConfig train;
+    train.epochs = scaled(8, 3);
+
+    const double clean_acc =
+        mlp::trainAndEvaluate(config, train, clean, hard_test, 42);
+    // Same number of weight updates for fairness: fewer epochs over
+    // the bigger set.
+    mlp::TrainConfig aug_train = train;
+    aug_train.epochs =
+        std::max<std::size_t>(1, train.epochs / (copies + 1));
+    const double aug_acc = mlp::trainAndEvaluate(config, aug_train,
+                                                 augmented, hard_test,
+                                                 42);
+
+    std::printf("\nhard-test accuracy:\n");
+    std::printf("  trained on clean data:     %.2f%%\n",
+                clean_acc * 100.0);
+    std::printf("  trained on augmented data: %.2f%%  (same update "
+                "budget)\n",
+                aug_acc * 100.0);
+    std::printf("\n%s\n",
+                aug_acc >= clean_acc
+                    ? "augmentation closed part of the distribution "
+                      "gap -- the headroom Simard et al.'s distorted "
+                      "training exploited."
+                    : "no augmentation benefit at this budget; try "
+                      "copies=4 or more epochs.");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hyper-parameter exploration, the Section 3.1 methodology in
+ * miniature: the paper evaluated ~1000 SNN settings (leak constant,
+ * LTP window, thresholds, inhibition/refractory periods) and found,
+ * e.g., that a leakage time constant of 500 ms beats the
+ * neuroscience-typical 50 ms. This example random-searches the same
+ * ranges and reports the best settings found.
+ *
+ * Run:  ./hyperparameter_search [trials=8] [train=1500] [test=400]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "neuro/common/config.h"
+#include "neuro/common/table.h"
+#include "neuro/core/experiment.h"
+#include "neuro/core/explorer.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace neuro;
+    Config cfg;
+    cfg.parseEnv();
+    cfg.parseArgs(argc, argv);
+    const auto trials =
+        static_cast<std::size_t>(cfg.getInt("trials", 8));
+    const auto train =
+        static_cast<std::size_t>(cfg.getInt("train", 1500));
+    const auto test = static_cast<std::size_t>(cfg.getInt("test", 400));
+
+    core::Workload w = core::makeMnistWorkload(train, test, 1);
+    std::printf("random-searching %zu SNN settings over the Table 1 "
+                "ranges (Tleak 10-800 ms, TLTP 1-50 ms, threshold "
+                "0.3x-2x, Tinhibit 1-20 ms, Trefrac 5-50 ms)...\n\n",
+                trials);
+
+    const auto results =
+        core::exploreSnnHyperparameters(w, trials, 25);
+
+    TextTable table("explored settings (sorted by accuracy)");
+    table.setHeader({"Rank", "Accuracy (%)", "Tleak (ms)", "TLTP (ms)",
+                     "Threshold", "Tinhibit", "Trefrac"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &trial = results[i];
+        table.addRow({TextTable::num(static_cast<long long>(i + 1)),
+                      TextTable::pct(trial.accuracy),
+                      TextTable::fmt(trial.config.tLeakMs, 0),
+                      TextTable::num(trial.config.stdp.ltpWindowMs),
+                      TextTable::fmt(trial.config.initialThreshold, 0),
+                      TextTable::num(trial.config.tInhibitMs),
+                      TextTable::num(trial.config.tRefracMs)});
+    }
+    table.print(std::cout);
+
+    const auto &best = results.front();
+    std::printf("\nbest setting: Tleak=%.0f ms (paper also selected a "
+                "long leak, 500 ms, despite neuroscience's ~50 ms), "
+                "TLTP=%d ms, accuracy %.2f%%\n",
+                best.config.tLeakMs, best.config.stdp.ltpWindowMs,
+                best.accuracy * 100.0);
+    std::printf("the paper's point: model hyper-parameters were tuned "
+                "for accuracy, not biological plausibility.\n");
+    return 0;
+}

@@ -1,0 +1,138 @@
+#include "neuro/common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "neuro/common/logging.h"
+
+extern char **environ;
+
+namespace neuro {
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    entries_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return entries_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? fallback : it->second;
+}
+
+long
+Config::getInt(const std::string &key, long fallback) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return fallback;
+    char *end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str()) {
+        warn("config key '%s' = '%s' is not an integer; using %ld",
+             key.c_str(), it->second.c_str(), fallback);
+        return fallback;
+    }
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str()) {
+        warn("config key '%s' = '%s' is not a number; using %g",
+             key.c_str(), it->second.c_str(), fallback);
+        return fallback;
+    }
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return fallback;
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    warn("config key '%s' = '%s' is not a boolean; using %d", key.c_str(),
+         it->second.c_str(), fallback);
+    return fallback;
+}
+
+void
+Config::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *eq = std::strchr(argv[i], '=');
+        if (!eq || eq == argv[i])
+            continue;
+        set(std::string(argv[i], static_cast<std::size_t>(eq - argv[i])),
+            std::string(eq + 1));
+    }
+}
+
+void
+Config::parseEnv()
+{
+    static const char prefix[] = "NEURO_";
+    for (char **env = environ; env && *env; ++env) {
+        const char *entry = *env;
+        if (std::strncmp(entry, prefix, sizeof(prefix) - 1) != 0)
+            continue;
+        const char *eq = std::strchr(entry, '=');
+        if (!eq)
+            continue;
+        std::string key(entry + sizeof(prefix) - 1, eq);
+        std::transform(key.begin(), key.end(), key.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        set(key, eq + 1);
+    }
+}
+
+double
+experimentScale()
+{
+    static const double scale = [] {
+        const char *env = std::getenv("NEURO_SCALE");
+        if (!env)
+            return 1.0;
+        const double v = std::strtod(env, nullptr);
+        if (!(v > 0.0) || v > 1.0) {
+            warn("NEURO_SCALE=%s out of (0,1]; using 1.0", env);
+            return 1.0;
+        }
+        return v;
+    }();
+    return scale;
+}
+
+std::size_t
+scaled(std::size_t n, std::size_t minimum)
+{
+    const double v = std::round(static_cast<double>(n) * experimentScale());
+    return std::max<std::size_t>(minimum, static_cast<std::size_t>(v));
+}
+
+} // namespace neuro

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Lightweight key/value configuration registry. Benches and examples use
+ * it to expose every knob of the reproduced experiments (topologies,
+ * training budgets, hardware parameters) with paper defaults, overridable
+ * from the command line (`key=value` arguments) and the environment
+ * (`NEURO_<KEY>` variables).
+ */
+
+#ifndef NEURO_COMMON_CONFIG_H
+#define NEURO_COMMON_CONFIG_H
+
+#include <map>
+#include <string>
+
+namespace neuro {
+
+/** A string-typed configuration map with typed accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** @return true if @p key is present. */
+    bool has(const std::string &key) const;
+
+    /** @return the value of @p key, or @p fallback if absent/unparsable. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+    /** @return the integer value of @p key, or @p fallback. */
+    long getInt(const std::string &key, long fallback) const;
+    /** @return the double value of @p key, or @p fallback. */
+    double getDouble(const std::string &key, double fallback) const;
+    /** @return the boolean value of @p key (0/1/true/false/yes/no). */
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /**
+     * Parse `key=value` tokens from an argv vector; non-matching tokens
+     * are ignored so benches can coexist with other flags.
+     */
+    void parseArgs(int argc, char **argv);
+
+    /**
+     * Import every `NEURO_<KEY>=value` environment variable as key
+     * `<key>` (lower-cased).
+     */
+    void parseEnv();
+
+    /** @return all key/value pairs (for dumping Table 1-style output). */
+    const std::map<std::string, std::string> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::map<std::string, std::string> entries_;
+};
+
+/**
+ * Global experiment scale factor in (0, 1]: scales training-set sizes and
+ * epoch counts so that the full bench suite completes on a laptop. Read
+ * once from the NEURO_SCALE environment variable (default 1.0).
+ */
+double experimentScale();
+
+/** @return max(minimum, round(n * experimentScale())). */
+std::size_t scaled(std::size_t n, std::size_t minimum = 1);
+
+} // namespace neuro
+
+#endif // NEURO_COMMON_CONFIG_H

@@ -1,0 +1,42 @@
+#include "neuro/common/csv.h"
+
+#include <cstdio>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+
+CsvWriter::CsvWriter(const std::string &path, std::vector<std::string> header)
+    : out_(path)
+{
+    if (!out_) {
+        warn("could not open '%s' for CSV output", path.c_str());
+        return;
+    }
+    writeRow(header);
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &values)
+{
+    if (!ok())
+        return;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", values[i]);
+        out_ << (i ? "," : "") << buf;
+    }
+    out_ << "\n";
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &values)
+{
+    if (!ok())
+        return;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out_ << (i ? "," : "") << values[i];
+    out_ << "\n";
+}
+
+} // namespace neuro

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CSV emission for figure data. Every figure bench writes the plotted
+ * series to a CSV next to its stdout table so the figures can be re-drawn
+ * with any plotting tool.
+ */
+
+#ifndef NEURO_COMMON_CSV_H
+#define NEURO_COMMON_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace neuro {
+
+/** Writes rows of values to a CSV file; silently no-ops if the file
+ *  cannot be opened (figure data is best-effort, benches still print). */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing and emit the header row. */
+    CsvWriter(const std::string &path, std::vector<std::string> header);
+
+    /** Append one row of doubles (formatted %.6g). */
+    void writeRow(const std::vector<double> &values);
+
+    /** Append one row of preformatted strings. */
+    void writeRow(const std::vector<std::string> &values);
+
+    /** @return true if the underlying file opened successfully. */
+    bool ok() const { return out_.is_open() && out_.good(); }
+
+  private:
+    std::ofstream out_;
+};
+
+} // namespace neuro
+
+#endif // NEURO_COMMON_CSV_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Saturating fixed-point arithmetic used by the quantized (hardware-
+ * faithful) inference paths. The paper's accelerators use 8-bit weights
+ * for the MLP and SNNwt, and 12-bit weights (8-bit weight x up to 10
+ * spikes) for SNNwot; accumulators are wider, as in the RTL.
+ */
+
+#ifndef NEURO_COMMON_FIXED_POINT_H
+#define NEURO_COMMON_FIXED_POINT_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace neuro {
+
+/**
+ * A signed fixed-point value with @p TotalBits total bits of which
+ * @p FracBits are fractional, stored in a 64-bit raw integer and
+ * saturating on overflow. TotalBits includes the sign bit.
+ *
+ * Example: FixedPoint<8, 6> is the paper's 8-bit synaptic-weight format
+ * (range [-2, 2), step 1/64).
+ */
+template <int TotalBits, int FracBits>
+class FixedPoint
+{
+    static_assert(TotalBits > 1 && TotalBits <= 32, "unsupported width");
+    static_assert(FracBits >= 0 && FracBits < TotalBits, "bad split");
+
+  public:
+    /** Raw storage type (wider than TotalBits so arithmetic can detect
+     *  overflow before saturating). */
+    using Raw = int64_t;
+
+    /** Maximum representable raw value. */
+    static constexpr Raw rawMax = (Raw{1} << (TotalBits - 1)) - 1;
+    /** Minimum representable raw value. */
+    static constexpr Raw rawMin = -(Raw{1} << (TotalBits - 1));
+    /** Value of one least-significant bit. */
+    static constexpr double lsb = 1.0 / static_cast<double>(1LL << FracBits);
+
+    constexpr FixedPoint() = default;
+
+    /** Quantize a double (round-to-nearest, saturate). */
+    static constexpr FixedPoint
+    fromDouble(double v)
+    {
+        const double scaled = v * static_cast<double>(1LL << FracBits);
+        Raw raw;
+        if (scaled >= static_cast<double>(rawMax))
+            raw = rawMax;
+        else if (scaled <= static_cast<double>(rawMin))
+            raw = rawMin;
+        else
+            raw = static_cast<Raw>(std::llround(scaled));
+        return FixedPoint(raw);
+    }
+
+    /** Wrap an already-scaled raw integer (saturating). */
+    static constexpr FixedPoint
+    fromRaw(Raw raw)
+    {
+        return FixedPoint(saturate(raw));
+    }
+
+    /** @return the value as a double. */
+    constexpr double toDouble() const { return static_cast<double>(raw_) * lsb; }
+
+    /** @return the raw scaled integer. */
+    constexpr Raw raw() const { return raw_; }
+
+    /** Saturating addition. */
+    constexpr FixedPoint
+    operator+(FixedPoint other) const
+    {
+        return FixedPoint(saturate(raw_ + other.raw_));
+    }
+
+    /** Saturating subtraction. */
+    constexpr FixedPoint
+    operator-(FixedPoint other) const
+    {
+        return FixedPoint(saturate(raw_ - other.raw_));
+    }
+
+    /**
+     * Saturating multiplication (the product of two Q formats is rescaled
+     * back to this format with truncation toward zero, as a hardware
+     * multiplier followed by a shift would do).
+     */
+    constexpr FixedPoint
+    operator*(FixedPoint other) const
+    {
+        const Raw wide = raw_ * other.raw_;
+        return FixedPoint(saturate(wide >> FracBits));
+    }
+
+    constexpr bool operator==(const FixedPoint &) const = default;
+    constexpr auto operator<=>(const FixedPoint &) const = default;
+
+  private:
+    constexpr explicit FixedPoint(Raw raw) : raw_(raw) {}
+
+    static constexpr Raw
+    saturate(Raw v)
+    {
+        return std::clamp(v, rawMin, rawMax);
+    }
+
+    Raw raw_ = 0;
+};
+
+/** The paper's 8-bit synaptic weight format: Q2.6 (range [-2, 2)). */
+using Weight8 = FixedPoint<8, 6>;
+
+/** The SNNwot 12-bit weighted-spike format: Q6.6. */
+using Weight12 = FixedPoint<12, 6>;
+
+/** A 24-bit accumulator with the same fractional scaling as Weight8. */
+using Accum24 = FixedPoint<24, 6>;
+
+} // namespace neuro
+
+#endif // NEURO_COMMON_FIXED_POINT_H

@@ -1,0 +1,100 @@
+#include "neuro/common/matrix.h"
+
+#include "neuro/common/logging.h"
+#include "neuro/common/rng.h"
+
+namespace neuro {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+float &
+Matrix::operator()(std::size_t r, std::size_t c)
+{
+    return data_[r * cols_ + c];
+}
+
+float
+Matrix::operator()(std::size_t r, std::size_t c) const
+{
+    return data_[r * cols_ + c];
+}
+
+float *
+Matrix::row(std::size_t r)
+{
+    NEURO_ASSERT(r < rows_, "row %zu out of range (%zu rows)", r, rows_);
+    return data_.data() + r * cols_;
+}
+
+const float *
+Matrix::row(std::size_t r) const
+{
+    NEURO_ASSERT(r < rows_, "row %zu out of range (%zu rows)", r, rows_);
+    return data_.data() + r * cols_;
+}
+
+void
+Matrix::fill(float v)
+{
+    for (auto &x : data_)
+        x = v;
+}
+
+void
+Matrix::fillUniform(Rng &rng, float lo, float hi)
+{
+    for (auto &x : data_)
+        x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void
+Matrix::fillGaussian(Rng &rng, float mean, float stddev)
+{
+    for (auto &x : data_)
+        x = static_cast<float>(rng.gaussian(mean, stddev));
+}
+
+void
+Matrix::gemv(const float *x, float *y) const
+{
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const float *w = data_.data() + r * cols_;
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += w[c] * x[c];
+        y[r] = acc;
+    }
+}
+
+void
+Matrix::gemvT(const float *x, float *y) const
+{
+    for (std::size_t c = 0; c < cols_; ++c)
+        y[c] = 0.0f;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const float *w = data_.data() + r * cols_;
+        const float xr = x[r];
+        if (xr == 0.0f)
+            continue;
+        for (std::size_t c = 0; c < cols_; ++c)
+            y[c] += w[c] * xr;
+    }
+}
+
+void
+Matrix::addOuter(float eta, const float *d, const float *x)
+{
+    for (std::size_t r = 0; r < rows_; ++r) {
+        float *w = data_.data() + r * cols_;
+        const float scale = eta * d[r];
+        if (scale == 0.0f)
+            continue;
+        for (std::size_t c = 0; c < cols_; ++c)
+            w[c] += scale * x[c];
+    }
+}
+
+} // namespace neuro

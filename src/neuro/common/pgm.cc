@@ -1,0 +1,43 @@
+#include "neuro/common/pgm.h"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+
+bool
+writePgm(const std::string &path, const uint8_t *data, std::size_t width,
+         std::size_t height)
+{
+    NEURO_ASSERT(width > 0 && height > 0, "empty image");
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << "P5\n" << width << " " << height << "\n255\n";
+    out.write(reinterpret_cast<const char *>(data),
+              static_cast<std::streamsize>(width * height));
+    return out.good();
+}
+
+bool
+writePgmNormalized(const std::string &path, const float *data,
+                   std::size_t width, std::size_t height)
+{
+    float lo = data[0], hi = data[0];
+    for (std::size_t i = 1; i < width * height; ++i) {
+        lo = std::min(lo, data[i]);
+        hi = std::max(hi, data[i]);
+    }
+    const float scale = hi > lo ? 255.0f / (hi - lo) : 0.0f;
+    std::vector<uint8_t> bytes(width * height);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        bytes[i] = static_cast<uint8_t>(
+            std::clamp((data[i] - lo) * scale, 0.0f, 255.0f));
+    }
+    return writePgm(path, bytes.data(), width, height);
+}
+
+} // namespace neuro

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Binary PGM (P5) image output, so dataset samples and learned
+ * receptive fields can be exported as real image files.
+ */
+
+#ifndef NEURO_COMMON_PGM_H
+#define NEURO_COMMON_PGM_H
+
+#include <cstdint>
+#include <string>
+
+namespace neuro {
+
+/** Write a row-major 8-bit image. @return false on I/O error. */
+bool writePgm(const std::string &path, const uint8_t *data,
+              std::size_t width, std::size_t height);
+
+/** Write a float image, min/max normalized to 0..255. */
+bool writePgmNormalized(const std::string &path, const float *data,
+                        std::size_t width, std::size_t height);
+
+} // namespace neuro
+
+#endif // NEURO_COMMON_PGM_H

@@ -1,0 +1,204 @@
+#include "neuro/common/rng.h"
+
+#include <cmath>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+
+namespace {
+
+/** SplitMix64 step, used only to expand seeds into generator state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+    // xoshiro's all-zero state is absorbing; the SplitMix expansion of any
+    // seed cannot produce it, but guard anyway.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0)
+        state_[0] = 1;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    NEURO_ASSERT(n > 0, "uniformInt() requires a nonzero range");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian_ = r * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+int
+Rng::poisson(double mean)
+{
+    NEURO_ASSERT(mean >= 0.0, "Poisson mean must be non-negative");
+    if (mean == 0.0)
+        return 0;
+    if (mean < 64.0) {
+        // Knuth: multiply uniforms until the product drops below e^-mean.
+        const double limit = std::exp(-mean);
+        double product = 1.0;
+        int count = -1;
+        do {
+            ++count;
+            product *= uniform();
+        } while (product > limit);
+        return count;
+    }
+    // Normal approximation with continuity correction for large means.
+    const double v = gaussian(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+}
+
+double
+Rng::exponential(double mean)
+{
+    NEURO_ASSERT(mean > 0.0, "exponential mean must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+void
+Rng::shuffle(std::uint32_t *order, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = uniformInt(i);
+        const std::uint32_t tmp = order[i - 1];
+        order[i - 1] = order[j];
+        order[j] = tmp;
+    }
+}
+
+Lfsr31::Lfsr31(uint32_t seed)
+    : state_(seed & 0x7fffffffu)
+{
+    if (state_ == 0)
+        state_ = 1;
+}
+
+uint32_t
+Lfsr31::stepBit()
+{
+    // Fibonacci form of x^31 + x^3 + 1: feedback is bit30 XOR bit2
+    // (exponents 31 and 3, zero-indexed taps 30 and 2).
+    const uint32_t bit = ((state_ >> 30) ^ (state_ >> 2)) & 1u;
+    state_ = ((state_ << 1) | bit) & 0x7fffffffu;
+    return bit;
+}
+
+uint32_t
+Lfsr31::stepWord()
+{
+    for (int i = 0; i < 31; ++i)
+        stepBit();
+    return state_;
+}
+
+double
+Lfsr31::uniform()
+{
+    return static_cast<double>(stepWord()) / 2147483648.0; // 2^31
+}
+
+GaussianClt::GaussianClt(uint32_t seed)
+    : lfsrs_{Lfsr31(seed), Lfsr31(seed * 2654435761u + 1),
+             Lfsr31(seed * 40503u + 7), Lfsr31(seed ^ 0x5a5a5a5au)}
+{
+}
+
+double
+GaussianClt::sample()
+{
+    // Sum of 4 U(0,1): mean 2, variance 4/12 = 1/3.
+    double sum = 0.0;
+    for (auto &lfsr : lfsrs_)
+        sum += lfsr.uniform();
+    return (sum - 2.0) / std::sqrt(1.0 / 3.0);
+}
+
+double
+GaussianClt::sample(double mean, double stddev)
+{
+    return mean + stddev * sample();
+}
+
+} // namespace neuro

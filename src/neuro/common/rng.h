@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Random-number generation suite.
+ *
+ * Two tiers are provided:
+ *
+ *  - Rng: a fast, deterministic software generator (xoshiro256**) with the
+ *    distributions the simulators need (uniform, Gaussian, Poisson,
+ *    exponential). Used for training, data synthesis and software models.
+ *
+ *  - Lfsr31 / GaussianClt: bit-accurate models of the paper's *hardware*
+ *    random sources (Section 4.2.2): a 31-bit Linear Feedback Shift
+ *    Register with primitive polynomial x^31 + x^3 + 1, and a Gaussian
+ *    generator built from the central-limit sum of four such LFSRs. These
+ *    are the generators the SNNwt accelerator instantiates per input pixel
+ *    to produce spike inter-arrival times.
+ */
+
+#ifndef NEURO_COMMON_RNG_H
+#define NEURO_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace neuro {
+
+/**
+ * Deterministic 64-bit pseudo-random generator (xoshiro256**) with the
+ * distribution helpers used across the library. Cheap to copy; every
+ * experiment owns its generator so runs are reproducible per seed.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded through SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next raw 64-bit value. */
+    uint64_t next();
+
+    /** @return a uniform double in [0, 1). */
+    double uniform();
+
+    /** @return a uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return a uniform integer in [0, n). Requires n > 0. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** @return a standard normal deviate (Box-Muller, cached pair). */
+    double gaussian();
+
+    /** @return a normal deviate with the given mean and stddev. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * @return a Poisson deviate with the given mean. Uses Knuth's method
+     * for small means and a normal approximation above 64.
+     */
+    int poisson(double mean);
+
+    /** @return an exponential deviate with the given mean. */
+    double exponential(double mean);
+
+    /** Fisher-Yates shuffle of indices [0, n) into @p order. */
+    void shuffle(std::uint32_t *order, std::size_t n);
+
+  private:
+    std::array<uint64_t, 4> state_;
+    double cachedGaussian_ = 0.0;
+    bool hasCachedGaussian_ = false;
+};
+
+/**
+ * Bit-accurate 31-bit Fibonacci LFSR with primitive polynomial
+ * x^31 + x^3 + 1, the hardware uniform source of the paper's SNNwt
+ * accelerator. The polynomial is primitive, so the sequence period is
+ * 2^31 - 1 for any nonzero seed.
+ */
+class Lfsr31
+{
+  public:
+    /** Construct from a seed; a zero seed is remapped to 1 (the all-zero
+     *  state is a fixed point of any LFSR). */
+    explicit Lfsr31(uint32_t seed = 1);
+
+    /** Advance one bit; @return the emitted bit (0/1). */
+    uint32_t stepBit();
+
+    /** Advance 31 bits; @return the resulting 31-bit word. */
+    uint32_t stepWord();
+
+    /** @return the current 31-bit state without advancing. */
+    uint32_t state() const { return state_; }
+
+    /** @return a uniform double in [0,1) from the next word. */
+    double uniform();
+
+  private:
+    uint32_t state_;
+};
+
+/**
+ * Hardware Gaussian generator using the central limit theorem: the sum of
+ * four independent LFSR uniforms, recentred and rescaled to zero mean and
+ * unit variance (Malik et al., the construction the paper adopts because a
+ * true Poisson generator is too costly in silicon).
+ */
+class GaussianClt
+{
+  public:
+    /** Construct the four constituent LFSRs from one seed. */
+    explicit GaussianClt(uint32_t seed = 1);
+
+    /** @return an approximately standard-normal deviate. */
+    double sample();
+
+    /** @return a deviate with the given mean and stddev. */
+    double sample(double mean, double stddev);
+
+  private:
+    std::array<Lfsr31, 4> lfsrs_;
+};
+
+} // namespace neuro
+
+#endif // NEURO_COMMON_RNG_H

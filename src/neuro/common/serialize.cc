@@ -1,0 +1,190 @@
+#include "neuro/common/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'C', 'M', 'P'};
+constexpr uint32_t kVersion = 1;
+constexpr uint8_t kTagFloat = 1;
+constexpr uint8_t kTagInt = 2;
+
+void
+writeU32(std::ostream &out, uint32_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeU64(std::ostream &out, uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+bool
+readU32(std::istream &in, uint32_t &v)
+{
+    return static_cast<bool>(
+        in.read(reinterpret_cast<char *>(&v), sizeof(v)));
+}
+
+bool
+readU64(std::istream &in, uint64_t &v)
+{
+    return static_cast<bool>(
+        in.read(reinterpret_cast<char *>(&v), sizeof(v)));
+}
+
+void
+writeName(std::ostream &out, const std::string &name)
+{
+    writeU32(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+}
+
+bool
+readName(std::istream &in, std::string &name)
+{
+    uint32_t len = 0;
+    if (!readU32(in, len) || len > 4096)
+        return false;
+    name.resize(len);
+    return static_cast<bool>(
+        in.read(name.data(), static_cast<std::streamsize>(len)));
+}
+
+} // namespace
+
+void
+Archive::putFloats(const std::string &name, std::vector<float> values)
+{
+    intArrays_.erase(name);
+    floatArrays_[name] = std::move(values);
+}
+
+void
+Archive::putInts(const std::string &name, std::vector<int64_t> values)
+{
+    floatArrays_.erase(name);
+    intArrays_[name] = std::move(values);
+}
+
+void
+Archive::putScalar(const std::string &name, double value)
+{
+    putFloats(name, {static_cast<float>(value)});
+}
+
+bool
+Archive::has(const std::string &name) const
+{
+    return floatArrays_.count(name) != 0 || intArrays_.count(name) != 0;
+}
+
+const std::vector<float> &
+Archive::floats(const std::string &name) const
+{
+    auto it = floatArrays_.find(name);
+    NEURO_ASSERT(it != floatArrays_.end(),
+                 "archive has no float array '%s'", name.c_str());
+    return it->second;
+}
+
+const std::vector<int64_t> &
+Archive::ints(const std::string &name) const
+{
+    auto it = intArrays_.find(name);
+    NEURO_ASSERT(it != intArrays_.end(), "archive has no int array '%s'",
+                 name.c_str());
+    return it->second;
+}
+
+double
+Archive::scalar(const std::string &name) const
+{
+    const auto &values = floats(name);
+    NEURO_ASSERT(!values.empty(), "scalar '%s' is empty", name.c_str());
+    return values[0];
+}
+
+bool
+Archive::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out.write(kMagic, sizeof(kMagic));
+    writeU32(out, kVersion);
+    writeU32(out, static_cast<uint32_t>(size()));
+    for (const auto &[name, values] : floatArrays_) {
+        writeName(out, name);
+        out.put(static_cast<char>(kTagFloat));
+        writeU64(out, values.size());
+        out.write(reinterpret_cast<const char *>(values.data()),
+                  static_cast<std::streamsize>(values.size() *
+                                               sizeof(float)));
+    }
+    for (const auto &[name, values] : intArrays_) {
+        writeName(out, name);
+        out.put(static_cast<char>(kTagInt));
+        writeU64(out, values.size());
+        out.write(reinterpret_cast<const char *>(values.data()),
+                  static_cast<std::streamsize>(values.size() *
+                                               sizeof(int64_t)));
+    }
+    return out.good();
+}
+
+bool
+Archive::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    char magic[4];
+    if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0)
+        return false;
+    uint32_t version = 0, count = 0;
+    if (!readU32(in, version) || version != kVersion ||
+        !readU32(in, count)) {
+        return false;
+    }
+    Archive loaded;
+    for (uint32_t i = 0; i < count; ++i) {
+        std::string name;
+        if (!readName(in, name))
+            return false;
+        const int tag = in.get();
+        uint64_t n = 0;
+        if (tag == EOF || !readU64(in, n) || n > (1ULL << 32))
+            return false;
+        if (tag == kTagFloat) {
+            std::vector<float> values(n);
+            if (!in.read(reinterpret_cast<char *>(values.data()),
+                         static_cast<std::streamsize>(n *
+                                                      sizeof(float)))) {
+                return false;
+            }
+            loaded.putFloats(name, std::move(values));
+        } else if (tag == kTagInt) {
+            std::vector<int64_t> values(n);
+            if (!in.read(reinterpret_cast<char *>(values.data()),
+                         static_cast<std::streamsize>(
+                             n * sizeof(int64_t)))) {
+                return false;
+            }
+            loaded.putInts(name, std::move(values));
+        } else {
+            return false;
+        }
+    }
+    *this = std::move(loaded);
+    return true;
+}
+
+} // namespace neuro

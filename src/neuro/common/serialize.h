@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal binary serialization for trained models: a tagged,
+ * little-endian container of named float/int arrays. Lets the examples
+ * train once and reuse weights (e.g. inspect_network renders receptive
+ * fields from a file written by online_learning).
+ *
+ * Format: magic "NCMP", u32 version, u32 record count, then per record
+ * a length-prefixed name, a type tag, a u64 element count and the raw
+ * payload.
+ */
+
+#ifndef NEURO_COMMON_SERIALIZE_H
+#define NEURO_COMMON_SERIALIZE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace neuro {
+
+/** A named bag of arrays with file I/O. */
+class Archive
+{
+  public:
+    /** Store a float array under @p name (overwrites). */
+    void putFloats(const std::string &name, std::vector<float> values);
+
+    /** Store an int64 array under @p name (overwrites). */
+    void putInts(const std::string &name, std::vector<int64_t> values);
+
+    /** Store a single scalar (stored as a 1-element float array). */
+    void putScalar(const std::string &name, double value);
+
+    /** @return true if @p name exists (either type). */
+    bool has(const std::string &name) const;
+
+    /** @return the float array (panics if absent; check has() first). */
+    const std::vector<float> &floats(const std::string &name) const;
+
+    /** @return the int array (panics if absent). */
+    const std::vector<int64_t> &ints(const std::string &name) const;
+
+    /** @return scalar stored by putScalar (panics if absent/empty). */
+    double scalar(const std::string &name) const;
+
+    /** Write to @p path. @return false on I/O failure. */
+    bool save(const std::string &path) const;
+
+    /** Read from @p path, replacing current contents.
+     *  @return false on I/O or format failure (contents untouched). */
+    bool load(const std::string &path);
+
+    /** @return number of stored records. */
+    std::size_t size() const
+    {
+        return floatArrays_.size() + intArrays_.size();
+    }
+
+  private:
+    std::map<std::string, std::vector<float>> floatArrays_;
+    std::map<std::string, std::vector<int64_t>> intArrays_;
+};
+
+} // namespace neuro
+
+#endif // NEURO_COMMON_SERIALIZE_H

@@ -1,0 +1,111 @@
+#include "neuro/common/stats.h"
+
+#include <cmath>
+#include <iomanip>
+
+namespace neuro {
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+    sumSq_ += v * v;
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq_ / static_cast<double>(count_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    *this = Distribution();
+}
+
+void
+StatRegistry::inc(const std::string &name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatRegistry::setScalar(const std::string &name, double v)
+{
+    scalars_[name] = v;
+}
+
+void
+StatRegistry::sample(const std::string &name, double v)
+{
+    distributions_[name].sample(v);
+}
+
+uint64_t
+StatRegistry::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+StatRegistry::scalar(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0.0 : it->second;
+}
+
+const Distribution &
+StatRegistry::distribution(const std::string &name) const
+{
+    static const Distribution empty;
+    auto it = distributions_.find(name);
+    return it == distributions_.end() ? empty : it->second;
+}
+
+void
+StatRegistry::reset()
+{
+    counters_.clear();
+    scalars_.clear();
+    distributions_.clear();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    os << "---------- stats ----------\n";
+    for (const auto &[name, v] : counters_)
+        os << std::left << std::setw(40) << name << v << "\n";
+    for (const auto &[name, v] : scalars_)
+        os << std::left << std::setw(40) << name << v << "\n";
+    for (const auto &[name, d] : distributions_) {
+        os << std::left << std::setw(40) << name << "n=" << d.count()
+           << " mean=" << d.mean() << " sd=" << d.stddev()
+           << " min=" << d.min() << " max=" << d.max() << "\n";
+    }
+    os << "---------------------------\n";
+}
+
+} // namespace neuro

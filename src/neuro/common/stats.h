@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Simulation statistics, in the spirit of gem5's stats package but sized
+ * for this project: named counters, scalars, and streaming distributions
+ * collected into a registry that can be dumped at end of run.
+ */
+
+#ifndef NEURO_COMMON_STATS_H
+#define NEURO_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace neuro {
+
+/** A streaming distribution: count, sum, min/max, mean, stddev. */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void sample(double v);
+
+    /** @return number of samples recorded. */
+    uint64_t count() const { return count_; }
+    /** @return sum of samples. */
+    double sum() const { return sum_; }
+    /** @return smallest sample (0 if empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+    /** @return largest sample (0 if empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+    /** @return arithmetic mean (0 if empty). */
+    double mean() const;
+    /** @return population standard deviation (0 if < 2 samples). */
+    double stddev() const;
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named collection of counters, scalar values and distributions.
+ * Simulators register into one of these; benches dump it after the run.
+ */
+class StatRegistry
+{
+  public:
+    /** Increment the named counter by @p delta (created on first use). */
+    void inc(const std::string &name, uint64_t delta = 1);
+
+    /** Set the named scalar. */
+    void setScalar(const std::string &name, double v);
+
+    /** Record a sample into the named distribution. */
+    void sample(const std::string &name, double v);
+
+    /** @return the value of a counter (0 if absent). */
+    uint64_t counter(const std::string &name) const;
+
+    /** @return the value of a scalar (0 if absent). */
+    double scalar(const std::string &name) const;
+
+    /** @return the named distribution (empty one if absent). */
+    const Distribution &distribution(const std::string &name) const;
+
+    /** Remove all statistics. */
+    void reset();
+
+    /** Write a human-readable dump of everything to @p os. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, double> scalars_;
+    std::map<std::string, Distribution> distributions_;
+};
+
+} // namespace neuro
+
+#endif // NEURO_COMMON_STATS_H

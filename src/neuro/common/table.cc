@@ -1,0 +1,113 @@
+#include "neuro/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace neuro {
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+void
+TextTable::addNote(std::string note)
+{
+    notes_.push_back(std::move(note));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::size_t ncols = header_.size();
+    for (const auto &row : rows_)
+        ncols = std::max(ncols, row.size());
+    if (ncols == 0)
+        return;
+
+    std::vector<std::size_t> width(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    measure(header_);
+    for (const auto &row : rows_)
+        measure(row);
+
+    auto rule = [&] {
+        os << "+";
+        for (std::size_t c = 0; c < ncols; ++c)
+            os << std::string(width[c] + 2, '-') << "+";
+        os << "\n";
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string &cell = c < row.size() ? row[c] : std::string();
+            os << " " << cell << std::string(width[c] - cell.size(), ' ')
+               << " |";
+        }
+        os << "\n";
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    rule();
+    if (!header_.empty()) {
+        emit(header_);
+        rule();
+    }
+    for (const auto &row : rows_) {
+        if (row.empty())
+            rule();
+        else
+            emit(row);
+    }
+    rule();
+    for (const auto &note : notes_)
+        os << "  note: " << note << "\n";
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::num(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+} // namespace neuro

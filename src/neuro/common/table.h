@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table formatting used by every bench to print paper-style tables
+ * (aligned columns, optional title and footnotes).
+ */
+
+#ifndef NEURO_COMMON_TABLE_H
+#define NEURO_COMMON_TABLE_H
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace neuro {
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Construct with an optional title printed above the table. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (ragged rows are padded with empty cells). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Append a footnote line printed under the table. */
+    void addNote(std::string note);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Format a double as "XX.X%" style percentage. */
+    static std::string pct(double fraction, int precision = 2);
+
+    /** Format an integer with no decoration. */
+    static std::string num(long long v);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    // Separator rows are encoded as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+} // namespace neuro
+
+#endif // NEURO_COMMON_TABLE_H

@@ -1,0 +1,114 @@
+#include "neuro/core/compare.h"
+
+#include "neuro/common/logging.h"
+#include "neuro/hw/stdp_hw.h"
+
+namespace neuro {
+namespace core {
+
+namespace {
+
+DesignRow
+rowFromDesign(const std::string &type, const std::string &ni,
+              const hw::Design &design)
+{
+    DesignRow row;
+    row.type = type;
+    row.ni = ni;
+    row.areaNoSramMm2 = design.areaNoSramMm2();
+    row.totalAreaMm2 = design.totalAreaMm2();
+    row.delayNs = design.clockNs();
+    row.energyUj = design.totalEnergyPerImageUj();
+    row.cycles = design.cyclesPerImage();
+    return row;
+}
+
+} // namespace
+
+std::vector<DesignRow>
+makeTable7Rows(const hw::MlpTopology &mlp_topo,
+               const hw::SnnTopology &snn_topo, int period_cycles)
+{
+    const std::vector<std::size_t> folds = {1, 4, 8, 16};
+    std::vector<DesignRow> rows;
+
+    for (std::size_t ni : folds) {
+        rows.push_back(rowFromDesign(
+            "SNNwot", std::to_string(ni),
+            hw::buildFoldedSnnWot(snn_topo, ni)));
+    }
+    rows.push_back(rowFromDesign("SNNwot", "expanded",
+                                 hw::buildExpandedSnnWot(snn_topo)));
+
+    for (std::size_t ni : folds) {
+        rows.push_back(rowFromDesign(
+            "SNNwt", std::to_string(ni),
+            hw::buildFoldedSnnWt(snn_topo, ni, period_cycles)));
+    }
+    rows.push_back(rowFromDesign(
+        "SNNwt", "expanded",
+        hw::buildExpandedSnnWt(snn_topo, period_cycles)));
+
+    for (std::size_t ni : folds) {
+        rows.push_back(rowFromDesign("MLP", std::to_string(ni),
+                                     hw::buildFoldedMlp(mlp_topo, ni)));
+    }
+    rows.push_back(rowFromDesign("MLP", "expanded",
+                                 hw::buildExpandedMlp(mlp_topo)));
+    return rows;
+}
+
+IsoAccuracyResult
+isoAccuracyComparison(const Workload &workload, double snn_accuracy,
+                      const std::vector<std::size_t> &candidate_sizes,
+                      uint64_t seed)
+{
+    NEURO_ASSERT(!candidate_sizes.empty(), "no candidate sizes");
+    IsoAccuracyResult result;
+    result.snnAccuracy = snn_accuracy;
+
+    for (std::size_t hidden : candidate_sizes) {
+        mlp::MlpConfig config = defaultMlpConfig(workload);
+        config.layerSizes[1] = hidden;
+        mlp::TrainConfig train = defaultMlpTrainConfig();
+        train.seed = seed + hidden;
+        const double acc =
+            mlp::trainAndEvaluate(config, train, workload.data.train,
+                                  workload.data.test, seed * 61 + hidden);
+        result.mlpHidden = hidden;
+        result.mlpAccuracy = acc;
+        if (acc >= snn_accuracy)
+            break; // smallest matching size found.
+    }
+
+    hw::MlpTopology mlp_topo = workload.mlpTopo;
+    mlp_topo.hidden = result.mlpHidden;
+    result.mlpAreaMm2 = hw::buildExpandedMlp(mlp_topo).totalAreaMm2();
+    result.snnWtAreaMm2 =
+        hw::buildExpandedSnnWt(workload.snnTopo).totalAreaMm2();
+    result.snnWotAreaMm2 =
+        hw::buildExpandedSnnWot(workload.snnTopo).totalAreaMm2();
+    return result;
+}
+
+std::vector<FoldedRatio>
+foldedCostRatios(const hw::MlpTopology &mlp_topo,
+                 const hw::SnnTopology &snn_topo,
+                 const std::vector<std::size_t> &fold_factors)
+{
+    std::vector<FoldedRatio> ratios;
+    for (std::size_t ni : fold_factors) {
+        const hw::Design snn = hw::buildFoldedSnnWot(snn_topo, ni);
+        const hw::Design mlp = hw::buildFoldedMlp(mlp_topo, ni);
+        FoldedRatio ratio;
+        ratio.ni = ni;
+        ratio.areaRatio = snn.totalAreaMm2() / mlp.totalAreaMm2();
+        ratio.energyRatio =
+            snn.totalEnergyPerImageUj() / mlp.totalEnergyPerImageUj();
+        ratios.push_back(ratio);
+    }
+    return ratios;
+}
+
+} // namespace core
+} // namespace neuro

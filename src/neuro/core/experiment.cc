@@ -1,0 +1,216 @@
+#include "neuro/core/experiment.h"
+
+#include <algorithm>
+
+#include "neuro/common/config.h"
+#include "neuro/common/logging.h"
+#include "neuro/common/rng.h"
+#include "neuro/datasets/shapes.h"
+#include "neuro/datasets/spoken_digits.h"
+#include "neuro/datasets/synth_digits.h"
+
+namespace neuro {
+namespace core {
+
+Workload
+makeMnistWorkload(std::size_t train_size, std::size_t test_size,
+                  uint64_t seed)
+{
+    Workload w;
+    w.name = "mnist";
+    w.data = datasets::mnistLike(scaled(train_size, 500),
+                                 scaled(test_size, 200), seed);
+    w.mlpTopo = {w.data.train.inputSize(), 100, 10};
+    w.snnTopo = {w.data.train.inputSize(), 300};
+    return w;
+}
+
+Workload
+makeMpeg7Workload(std::size_t train_size, std::size_t test_size,
+                  uint64_t seed)
+{
+    Workload w;
+    w.name = "mpeg7";
+    datasets::ShapesOptions opt;
+    opt.trainSize = scaled(train_size, 400);
+    opt.testSize = scaled(test_size, 200);
+    opt.seed = seed;
+    w.data = datasets::makeShapes(opt);
+    // Paper Section 4.5: MLP 28x28-15-10, SNN 28x28-90.
+    w.mlpTopo = {w.data.train.inputSize(), 15, 10};
+    w.snnTopo = {w.data.train.inputSize(), 90};
+    return w;
+}
+
+Workload
+makeSadWorkload(std::size_t train_size, std::size_t test_size,
+                uint64_t seed)
+{
+    Workload w;
+    w.name = "sad";
+    datasets::SpokenDigitsOptions opt;
+    opt.trainSize = scaled(train_size, 400);
+    opt.testSize = scaled(test_size, 200);
+    opt.seed = seed;
+    w.data = datasets::makeSpokenDigits(opt);
+    // Paper Section 4.5: MLP 13x13-60-10, SNN 13x13-90.
+    w.mlpTopo = {w.data.train.inputSize(), 60, 10};
+    w.snnTopo = {w.data.train.inputSize(), 90};
+    return w;
+}
+
+mlp::MlpConfig
+defaultMlpConfig(const Workload &workload)
+{
+    mlp::MlpConfig config;
+    config.layerSizes = {workload.mlpTopo.inputs, workload.mlpTopo.hidden,
+                         workload.mlpTopo.outputs};
+    config.activation = mlp::ActivationKind::Sigmoid;
+    return config;
+}
+
+mlp::TrainConfig
+defaultMlpTrainConfig()
+{
+    mlp::TrainConfig config;
+    config.learningRate = 0.3f; // Table 1.
+    // Table 1 trains for 50 epochs over 60k images; the default bench
+    // budget uses fewer epochs over the (scaled) synthetic set.
+    config.epochs = scaled(12, 3);
+    return config;
+}
+
+snn::SnnConfig
+defaultSnnConfig(const Workload &workload, std::size_t train_images)
+{
+    NEURO_ASSERT(train_images > 0, "need a training-set size");
+    snn::SnnConfig config;
+    config.numInputs = workload.snnTopo.inputs;
+    config.numNeurons = workload.snnTopo.neurons;
+    config.coding.scheme = snn::CodingScheme::RatePoisson;
+    config.coding.periodMs = 500;     // Table 1: Tperiod.
+    config.coding.minIntervalMs = 50; // max luminance -> 20 Hz.
+    config.tLeakMs = 500.0;           // Table 1: Tleak.
+    config.tInhibitMs = 5;            // Table 1: Tinhibit.
+    config.tRefracMs = 20;            // Table 1: Trefrac.
+
+    // Table 1 sets Tinit = wmax * 70 = 17,850 for MNIST. The constant
+    // encodes "about half of an average image's total synaptic drive",
+    // so for other datasets we derive it the same way: sample the mean
+    // total spike count and scale by the mean initial weight.
+    const snn::SpikeEncoder probe(config.coding);
+    const datasets::Dataset &train = workload.data.train;
+    const std::size_t probe_n = std::min<std::size_t>(100, train.size());
+    double mean_spikes = 0.0;
+    for (std::size_t i = 0; i < probe_n; ++i) {
+        const auto &px = train[i].pixels;
+        for (uint8_t p : px)
+            mean_spikes += probe.spikeCount(p);
+    }
+    mean_spikes /= static_cast<double>(probe_n);
+    const double mean_w = 0.5 * (config.wInitMin + config.wInitMax);
+    config.initialThreshold =
+        std::max(1000.0, 0.5 * mean_spikes * mean_w);
+
+    config.stdp.ltpWindowMs = 45; // Table 1: TLTP.
+    // The paper applies unit increments over 60k-image training runs;
+    // scaled-down runs keep the same total per-synapse weight movement
+    // by scaling the step size.
+    const double step = std::clamp(60000.0 /
+                                       static_cast<double>(train_images),
+                                   1.0, 16.0);
+    config.stdp.ltpIncrement = static_cast<float>(step);
+    config.stdp.ltdDecrement = static_cast<float>(step * 0.25);
+
+    retuneSnnForTopology(config, train_images);
+    config.thresholdJitter = 0.02;
+    return config;
+}
+
+void
+retuneSnnForTopology(snn::SnnConfig &config, std::size_t train_images)
+{
+    // Homeostasis epoch: the paper uses 10 * Tperiod * #N ms (3000
+    // images) with 60k training images. Scaled-down runs need the same
+    // *number of epochs per synapse-lifetime*, so the epoch shrinks
+    // proportionally — frequent small threshold nudges are what forces
+    // the WTA turn-taking that makes every neuron specialize.
+    const std::size_t epoch_images = std::max<std::size_t>(
+        20, std::min<std::size_t>(10 * config.numNeurons,
+                                  train_images / 50));
+    config.homeostasis.epochMs =
+        static_cast<int64_t>(epoch_images) * config.coding.periodMs;
+    // Table 1: threshold = 3 * HomeoT / (Tperiod * #N), i.e. 3x the
+    // mean WTA firing rate per epoch.
+    config.homeostasis.activityTarget =
+        3.0 * static_cast<double>(epoch_images) /
+        static_cast<double>(config.numNeurons);
+    config.homeostasis.rate = 0.08;
+    config.homeostasis.downFactor = 0.25;
+    config.homeostasis.minThreshold = 0.25 * config.initialThreshold;
+}
+
+snn::SnnBpConfig
+defaultSnnBpConfig(const Workload &workload)
+{
+    snn::SnnBpConfig config;
+    config.numInputs = workload.snnTopo.inputs;
+    config.numNeurons = workload.snnTopo.neurons;
+    config.numClasses = workload.data.train.numClasses();
+    config.coding.scheme = snn::CodingScheme::RatePoisson;
+    config.coding.periodMs = 500;
+    config.coding.minIntervalMs = 50;
+    config.tLeakMs = 500.0;
+    config.learningRate = 0.1f;
+    config.epochs = scaled(8, 2);
+    return config;
+}
+
+AccuracyResults
+runAccuracyComparison(const Workload &workload, uint64_t seed)
+{
+    AccuracyResults results;
+    const datasets::Dataset &train = workload.data.train;
+    const datasets::Dataset &test = workload.data.test;
+
+    // --- SNN+STDP (one training run, two forward paths) ---
+    const snn::SnnConfig snn_config =
+        defaultSnnConfig(workload, train.size());
+    Rng rng(seed);
+    snn::SnnNetwork net(snn_config, rng);
+    snn::SnnStdpTrainer trainer(snn_config);
+    snn::SnnTrainConfig snn_train;
+    snn_train.epochs = scaled(3, 1);
+    snn_train.seed = seed + 1;
+    trainer.train(net, train, snn_train);
+
+    const auto labels_wt = trainer.labelNeurons(
+        net, train, snn::EvalMode::Wt, seed + 2);
+    results.snnWt = trainer
+        .evaluate(net, labels_wt, test, snn::EvalMode::Wt, seed + 3)
+        .accuracy;
+    const auto labels_wot = trainer.labelNeurons(
+        net, train, snn::EvalMode::Wot, seed + 4);
+    results.snnWot = trainer
+        .evaluate(net, labels_wot, test, snn::EvalMode::Wot, seed + 5)
+        .accuracy;
+
+    // --- SNN+BP ---
+    snn::SnnBpConfig bp_config = defaultSnnBpConfig(workload);
+    bp_config.seed = seed + 6;
+    Rng bp_rng(seed + 7);
+    snn::SnnBp snn_bp(bp_config, bp_rng);
+    snn_bp.train(train);
+    results.snnBp = snn_bp.evaluate(test, seed + 8);
+
+    // --- MLP+BP ---
+    mlp::TrainConfig mlp_train = defaultMlpTrainConfig();
+    mlp_train.seed = seed + 9;
+    results.mlpBp = mlp::trainAndEvaluate(defaultMlpConfig(workload),
+                                          mlp_train, train, test,
+                                          seed + 10);
+    return results;
+}
+
+} // namespace core
+} // namespace neuro

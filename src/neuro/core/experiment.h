@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Experiment plumbing shared by the benches and examples: workload
+ * definitions (MNIST-like, MPEG-7-like, SAD-like, each with the paper's
+ * per-workload topologies of Sections 3.1 and 4.5), paper-default model
+ * configurations (Table 1), and the Table 3 accuracy comparison runner.
+ */
+
+#ifndef NEURO_CORE_EXPERIMENT_H
+#define NEURO_CORE_EXPERIMENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "neuro/datasets/dataset.h"
+#include "neuro/hw/expanded.h"
+#include "neuro/mlp/backprop.h"
+#include "neuro/snn/network.h"
+#include "neuro/snn/snn_bp.h"
+#include "neuro/snn/trainer.h"
+
+namespace neuro {
+namespace core {
+
+/** A benchmark workload: data plus the paper's topology choices. */
+struct Workload
+{
+    std::string name;          ///< "mnist", "mpeg7" or "sad".
+    datasets::Split data;      ///< train/test split.
+    hw::MlpTopology mlpTopo;   ///< paper's MLP topology for it.
+    hw::SnnTopology snnTopo;   ///< paper's SNN topology for it.
+};
+
+/**
+ * MNIST-like workload (28x28; MLP 784-100-10, SNN 784-300). Sizes are
+ * scaled by NEURO_SCALE; real MNIST is used when NEURO_MNIST_DIR is set.
+ */
+Workload makeMnistWorkload(std::size_t train_size = 10000,
+                           std::size_t test_size = 2000,
+                           uint64_t seed = 1);
+
+/** MPEG-7-like silhouettes (28x28; MLP 784-15-10, SNN 784-90). */
+Workload makeMpeg7Workload(std::size_t train_size = 4000,
+                           std::size_t test_size = 1000,
+                           uint64_t seed = 2);
+
+/** Spoken-Arabic-Digit-like workload (13x13; MLP 169-60-10,
+ *  SNN 169-90). */
+Workload makeSadWorkload(std::size_t train_size = 6000,
+                         std::size_t test_size = 1500, uint64_t seed = 3);
+
+/** Paper-default MLP configuration for a workload (Table 1). */
+mlp::MlpConfig defaultMlpConfig(const Workload &workload);
+
+/** Paper-default MLP training configuration, epochs scaled. */
+mlp::TrainConfig defaultMlpTrainConfig();
+
+/**
+ * Paper-default SNN configuration for a workload (Table 1), with STDP
+ * learning steps scaled up to compensate for the scaled-down training
+ * set (the paper trains on 60k images; the defaults keep the same
+ * total weight movement per synapse).
+ */
+snn::SnnConfig defaultSnnConfig(const Workload &workload,
+                                std::size_t train_images);
+
+/**
+ * Re-derive the topology-dependent SNN settings (homeostasis epoch and
+ * activity target) after changing numNeurons; sweeps must call this so
+ * every network size gets the same adaptation dynamics.
+ */
+void retuneSnnForTopology(snn::SnnConfig &config,
+                          std::size_t train_images);
+
+/** Paper-default SNN+BP configuration for a workload. */
+snn::SnnBpConfig defaultSnnBpConfig(const Workload &workload);
+
+/** Table 3: accuracies of the four models on one workload. */
+struct AccuracyResults
+{
+    double snnWt = 0;  ///< SNN+STDP, LIF timed forward path.
+    double snnWot = 0; ///< SNN+STDP, simplified (count) forward path.
+    double snnBp = 0;  ///< SNN forward + back-propagation learning.
+    double mlpBp = 0;  ///< MLP + back-propagation.
+};
+
+/**
+ * Run the full Table 3 comparison on a workload: train one SNN with
+ * STDP (evaluated both wt and wot), one SNN+BP and one MLP+BP.
+ */
+AccuracyResults runAccuracyComparison(const Workload &workload,
+                                      uint64_t seed = 77);
+
+} // namespace core
+} // namespace neuro
+
+#endif // NEURO_CORE_EXPERIMENT_H

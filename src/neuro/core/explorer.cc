@@ -1,0 +1,156 @@
+#include "neuro/core/explorer.h"
+
+#include <algorithm>
+
+#include "neuro/common/config.h"
+#include "neuro/common/logging.h"
+#include "neuro/common/rng.h"
+
+namespace neuro {
+namespace core {
+
+std::vector<SweepPoint>
+sweepMlpHidden(const Workload &workload,
+               const std::vector<std::size_t> &hidden_sizes, uint64_t seed)
+{
+    std::vector<SweepPoint> points;
+    for (std::size_t hidden : hidden_sizes) {
+        mlp::MlpConfig config = defaultMlpConfig(workload);
+        config.layerSizes[1] = hidden;
+        mlp::TrainConfig train = defaultMlpTrainConfig();
+        train.seed = seed + hidden;
+        const double acc =
+            mlp::trainAndEvaluate(config, train, workload.data.train,
+                                  workload.data.test, seed * 31 + hidden);
+        points.push_back({static_cast<double>(hidden), acc});
+    }
+    return points;
+}
+
+std::vector<SweepPoint>
+sweepSnnNeurons(const Workload &workload,
+                const std::vector<std::size_t> &neuron_counts,
+                uint64_t seed)
+{
+    std::vector<SweepPoint> points;
+    for (std::size_t neurons : neuron_counts) {
+        snn::SnnConfig config =
+            defaultSnnConfig(workload, workload.data.train.size());
+        config.numNeurons = neurons;
+        retuneSnnForTopology(config, workload.data.train.size());
+
+        snn::SnnTrainConfig train;
+        train.epochs = scaled(3, 1);
+        train.seed = seed + neurons;
+        const double acc = snn::trainAndEvaluateStdp(
+            config, train, workload.data.train, workload.data.test,
+            snn::EvalMode::Wt, seed * 37 + neurons);
+        points.push_back({static_cast<double>(neurons), acc});
+    }
+    return points;
+}
+
+std::vector<SweepPoint>
+sweepSigmoidSlope(const Workload &workload,
+                  const std::vector<double> &slopes, uint64_t seed)
+{
+    std::vector<SweepPoint> points;
+    mlp::TrainConfig train = defaultMlpTrainConfig();
+    const float base_lr = train.learningRate;
+    for (double a : slopes) {
+        mlp::MlpConfig config = defaultMlpConfig(workload);
+        config.activation = mlp::ActivationKind::ParamSigmoid;
+        config.slope = static_cast<float>(a);
+        // The gradient scales with the slope; keep the effective step
+        // size constant so steep sigmoids do not diverge.
+        train.learningRate = base_lr / static_cast<float>(a);
+        train.seed = seed + static_cast<uint64_t>(a * 8);
+        const double acc = mlp::trainAndEvaluate(
+            config, train, workload.data.train, workload.data.test,
+            seed * 41 + static_cast<uint64_t>(a * 8));
+        points.push_back({a, acc});
+    }
+    // The step-function limit (parameter recorded as 0).
+    mlp::MlpConfig config = defaultMlpConfig(workload);
+    config.activation = mlp::ActivationKind::Step;
+    config.slope = 8.0f; // surrogate-gradient slope.
+    train.learningRate = base_lr / config.slope;
+    train.seed = seed + 999;
+    const double acc =
+        mlp::trainAndEvaluate(config, train, workload.data.train,
+                              workload.data.test, seed * 43);
+    points.push_back({0.0, acc});
+    return points;
+}
+
+std::vector<CodingSweepPoint>
+sweepCodingSchemes(const Workload &workload,
+                   const std::vector<snn::CodingScheme> &schemes,
+                   const std::vector<std::size_t> &neuron_counts,
+                   uint64_t seed)
+{
+    std::vector<CodingSweepPoint> points;
+    for (snn::CodingScheme scheme : schemes) {
+        for (std::size_t neurons : neuron_counts) {
+            snn::SnnConfig config =
+                defaultSnnConfig(workload, workload.data.train.size());
+            config.coding.scheme = scheme;
+            config.numNeurons = neurons;
+            // Temporal codes deliver at most one spike per pixel; scale
+            // the firing threshold down accordingly so neurons still
+            // reach it.
+            if (scheme == snn::CodingScheme::TimeToFirstSpike ||
+                scheme == snn::CodingScheme::RankOrder) {
+                config.initialThreshold /= 6.0;
+            }
+            retuneSnnForTopology(config, workload.data.train.size());
+
+            snn::SnnTrainConfig train;
+            train.epochs = scaled(3, 1);
+            train.seed = seed + neurons;
+            const double acc = snn::trainAndEvaluateStdp(
+                config, train, workload.data.train, workload.data.test,
+                snn::EvalMode::Wt,
+                seed * 47 + neurons + static_cast<uint64_t>(scheme));
+            points.push_back({scheme, neurons, acc});
+        }
+    }
+    return points;
+}
+
+std::vector<SnnTrial>
+exploreSnnHyperparameters(const Workload &workload, std::size_t trials,
+                          uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<SnnTrial> results;
+    for (std::size_t t = 0; t < trials; ++t) {
+        SnnTrial trial;
+        trial.config = defaultSnnConfig(workload,
+                                        workload.data.train.size());
+        // Table 1 exploration ranges.
+        trial.config.tLeakMs = rng.uniform(10.0, 800.0);
+        trial.config.stdp.ltpWindowMs =
+            static_cast<int>(rng.uniform(1.0, 50.0));
+        trial.config.initialThreshold =
+            rng.uniform(0.3, 2.0) * 17850.0;
+        trial.config.tInhibitMs = static_cast<int>(rng.uniform(1.0, 20.0));
+        trial.config.tRefracMs = static_cast<int>(rng.uniform(5.0, 50.0));
+
+        snn::SnnTrainConfig train;
+        train.epochs = 1;
+        train.seed = seed + t;
+        trial.accuracy = snn::trainAndEvaluateStdp(
+            trial.config, train, workload.data.train, workload.data.test,
+            snn::EvalMode::Wt, seed * 53 + t);
+        results.push_back(std::move(trial));
+    }
+    std::stable_sort(results.begin(), results.end(),
+                     [](const SnnTrial &a, const SnnTrial &b) {
+                         return a.accuracy > b.accuracy;
+                     });
+    return results;
+}
+
+} // namespace core
+} // namespace neuro

@@ -1,0 +1,111 @@
+#include "neuro/core/metrics.h"
+
+#include <iomanip>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace core {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : numClasses_(num_classes),
+      cells_(static_cast<std::size_t>(num_classes) *
+                 static_cast<std::size_t>(num_classes),
+             0)
+{
+    NEURO_ASSERT(num_classes > 0, "need at least one class");
+}
+
+void
+ConfusionMatrix::record(int actual, int predicted)
+{
+    NEURO_ASSERT(actual >= 0 && actual < numClasses_,
+                 "actual label out of range");
+    ++total_;
+    if (predicted < 0 || predicted >= numClasses_)
+        return; // counted as an error; no cell to attribute it to.
+    ++cells_[static_cast<std::size_t>(actual) *
+                 static_cast<std::size_t>(numClasses_) +
+             static_cast<std::size_t>(predicted)];
+    if (actual == predicted)
+        ++correct_;
+}
+
+uint64_t
+ConfusionMatrix::at(int actual, int predicted) const
+{
+    NEURO_ASSERT(actual >= 0 && actual < numClasses_ && predicted >= 0 &&
+                     predicted < numClasses_,
+                 "confusion index out of range");
+    return cells_[static_cast<std::size_t>(actual) *
+                      static_cast<std::size_t>(numClasses_) +
+                  static_cast<std::size_t>(predicted)];
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    return total_ ? static_cast<double>(correct_) /
+                        static_cast<double>(total_)
+                  : 0.0;
+}
+
+double
+ConfusionMatrix::precision(int cls) const
+{
+    uint64_t predicted = 0;
+    for (int a = 0; a < numClasses_; ++a)
+        predicted += at(a, cls);
+    return predicted ? static_cast<double>(at(cls, cls)) /
+                           static_cast<double>(predicted)
+                     : 0.0;
+}
+
+double
+ConfusionMatrix::recall(int cls) const
+{
+    uint64_t actual = 0;
+    for (int p = 0; p < numClasses_; ++p)
+        actual += at(cls, p);
+    return actual ? static_cast<double>(at(cls, cls)) /
+                        static_cast<double>(actual)
+                  : 0.0;
+}
+
+double
+ConfusionMatrix::f1(int cls) const
+{
+    const double p = precision(cls);
+    const double r = recall(cls);
+    return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+void
+ConfusionMatrix::print(std::ostream &os) const
+{
+    os << "confusion matrix (rows = actual, cols = predicted):\n    ";
+    for (int p = 0; p < numClasses_; ++p)
+        os << std::setw(6) << p;
+    os << "\n";
+    for (int a = 0; a < numClasses_; ++a) {
+        os << std::setw(4) << a;
+        for (int p = 0; p < numClasses_; ++p)
+            os << std::setw(6) << at(a, p);
+        os << "\n";
+    }
+    os << "accuracy: " << accuracy() * 100.0 << "%\n";
+}
+
+ConfusionMatrix
+evaluateConfusion(const datasets::Dataset &data,
+                  const Predictor &predictor)
+{
+    NEURO_ASSERT(!data.empty(), "empty dataset");
+    ConfusionMatrix matrix(data.numClasses());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        matrix.record(data[i].label, predictor(data[i]));
+    return matrix;
+}
+
+} // namespace core
+} // namespace neuro

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Classification metrics beyond raw accuracy: confusion matrix,
+ * per-class precision/recall/F1, and a generic evaluator over any
+ * predictor function, shared by examples and benches.
+ */
+
+#ifndef NEURO_CORE_METRICS_H
+#define NEURO_CORE_METRICS_H
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "neuro/datasets/dataset.h"
+
+namespace neuro {
+namespace core {
+
+/** Maps a sample's pixels to a predicted class. */
+using Predictor = std::function<int(const datasets::Sample &)>;
+
+/** A num_classes x num_classes confusion matrix. */
+class ConfusionMatrix
+{
+  public:
+    /** Construct for @p num_classes classes. */
+    explicit ConfusionMatrix(int num_classes);
+
+    /** Record one (actual, predicted) pair; predictions outside
+     *  [0, classes) count as errors against every class. */
+    void record(int actual, int predicted);
+
+    /** @return count at (actual, predicted). */
+    uint64_t at(int actual, int predicted) const;
+
+    /** @return number of classes. */
+    int numClasses() const { return numClasses_; }
+
+    /** @return total recorded samples. */
+    uint64_t total() const { return total_; }
+
+    /** @return overall accuracy. */
+    double accuracy() const;
+
+    /** @return precision of @p cls (0 when never predicted). */
+    double precision(int cls) const;
+
+    /** @return recall of @p cls (0 when never present). */
+    double recall(int cls) const;
+
+    /** @return F1 score of @p cls. */
+    double f1(int cls) const;
+
+    /** Render as an aligned table. */
+    void print(std::ostream &os) const;
+
+  private:
+    int numClasses_;
+    uint64_t total_ = 0;
+    uint64_t correct_ = 0;
+    std::vector<uint64_t> cells_; ///< row = actual, col = predicted.
+};
+
+/** Run @p predictor over @p data and collect the confusion matrix. */
+ConfusionMatrix evaluateConfusion(const datasets::Dataset &data,
+                                  const Predictor &predictor);
+
+} // namespace core
+} // namespace neuro
+
+#endif // NEURO_CORE_METRICS_H

@@ -1,0 +1,100 @@
+#include "neuro/core/reports.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "neuro/common/table.h"
+
+namespace neuro {
+namespace core {
+namespace paper {
+
+const Table2Row kTable2[5] = {
+    {"MLP+BP [22]", 98.40},
+    {"SNN+STDP [11]", 93.50},
+    {"SNN+STDP [23]", 95.00},
+    {"ImageNet [4]", 99.21},
+    {"MCDNN [21]", 99.77},
+};
+
+const Table6Row kTable6[4] = {
+    // ni, depth, read pJ, bank um^2, SNN banks, MLP banks,
+    // SNN nJ, MLP nJ, SNN mm^2, MLP mm^2
+    {1, 784, 44.41, 108351.0, 19, 8, 0.84, 0.31, 2.06, 0.76},
+    {4, 200, 33.05, 46002.0, 75, 28, 2.48, 0.93, 3.45, 1.29},
+    {8, 128, 32.46, 40772.0, 150, 55, 4.87, 1.79, 6.12, 2.24},
+    {16, 128, 32.46, 40772.0, 300, 110, 9.74, 3.56, 12.23, 4.48},
+};
+
+const Table7Row kTable7[15] = {
+    {"SNNwot", "1", 1.11, 3.17, 1.24, 1.03, 791},
+    {"SNNwot", "4", 1.89, 5.34, 1.48, 0.68, 203},
+    {"SNNwot", "8", 2.79, 8.91, 1.76, 0.67, 105},
+    {"SNNwot", "16", 4.10, 16.33, 1.84, 0.70, 56},
+    {"SNNwot", "expanded", 26.79, 46.06, 3.17, 0.03, 3},
+    {"SNNwt", "1", 0.48, 2.56, 1.15, 471.58, 791.0 * 500},
+    {"SNNwt", "4", 0.84, 4.36, 1.11, 315.33, 203.0 * 500},
+    {"SNNwt", "8", 1.19, 7.45, 1.18, 307.09, 105.0 * 500},
+    {"SNNwt", "16", 1.74, 14.25, 1.84, 325.69, 56.0 * 500},
+    {"SNNwt", "expanded", 19.62, 38.89, 2.61, 214.70, 500},
+    {"MLP", "1", 0.29, 1.05, 2.24, 0.38, 882},
+    {"MLP", "4", 0.62, 1.91, 2.24, 0.29, 223},
+    {"MLP", "8", 1.02, 3.26, 2.25, 0.30, 113},
+    {"MLP", "16", 1.88, 6.36, 2.25, 0.29, 57},
+    {"MLP", "expanded", 73.14, 79.63, 3.79, 0.06, 4},
+};
+
+const Table8Row kTable8[3] = {
+    // type, speedup ni=1/ni=16/expanded, energy ni=1/ni=16/expanded
+    {"SNNwot", 59.10, 543.43, 6086.46, 2799.72, 4132.53, 31542.31},
+    {"SNNwt", 0.12, 1.14, 44.60, 6.15, 8.90, 13.51},
+    {"MLP", 40.44, 626.03, 5409.63, 12743.14, 16365.61, 79151.75},
+};
+
+const Table9Row kTable9[4] = {
+    {1, 2.55, 4.92, 1.23, 0.71},
+    {4, 3.33, 7.10, 1.48, 0.37},
+    {8, 4.26, 10.70, 1.81, 0.32},
+    {16, 6.44, 19.06, 1.88, 0.33},
+};
+
+} // namespace paper
+
+void
+printDesignRows(std::ostream &os, const std::string &title,
+                const std::vector<DesignRow> &rows)
+{
+    TextTable table(title);
+    table.setHeader({"Type", "ni", "Area no-SRAM (mm2)",
+                     "Total area (mm2)", "Delay (ns)", "Energy (uJ)",
+                     "Cycles/image"});
+    std::string last_type;
+    for (const auto &row : rows) {
+        if (!last_type.empty() && row.type != last_type)
+            table.addSeparator();
+        last_type = row.type;
+        table.addRow({row.type, row.ni, TextTable::fmt(row.areaNoSramMm2),
+                      TextTable::fmt(row.totalAreaMm2),
+                      TextTable::fmt(row.delayNs),
+                      TextTable::fmt(row.energyUj, 3),
+                      TextTable::num(static_cast<long long>(row.cycles))});
+    }
+    table.print(os);
+}
+
+std::string
+vsPaper(double measured, double published, int precision)
+{
+    char buf[96];
+    if (published == 0.0) {
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, measured);
+        return buf;
+    }
+    const double delta = (measured - published) / published * 100.0;
+    std::snprintf(buf, sizeof(buf), "%.*f (paper %.*f, %+.0f%%)",
+                  precision, measured, precision, published, delta);
+    return buf;
+}
+
+} // namespace core
+} // namespace neuro

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Published reference values from the paper, so every bench can print a
+ * "paper" column next to the value this reproduction measures, and the
+ * report helpers shared by the bench binaries.
+ */
+
+#ifndef NEURO_CORE_REPORTS_H
+#define NEURO_CORE_REPORTS_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "neuro/core/compare.h"
+
+namespace neuro {
+namespace core {
+/** Published numbers, namespaced per table/figure. */
+namespace paper {
+
+/** Table 2: best accuracy reported on MNIST (no distortion), percent. */
+struct Table2Row
+{
+    const char *type;
+    double accuracyPct;
+};
+extern const Table2Row kTable2[5];
+
+/** Table 3: accuracy of MLP and SNN on MNIST, percent. */
+inline constexpr double kSnnWtAccuracyPct = 91.82;
+inline constexpr double kSnnWotAccuracyPct = 90.85;
+inline constexpr double kSnnBpAccuracyPct = 95.40;
+inline constexpr double kMlpBpAccuracyPct = 97.65;
+
+/** Section 4.2.1: 8-bit fixed-point vs float MLP accuracy, percent. */
+inline constexpr double kMlpFixed8AccuracyPct = 96.65;
+inline constexpr double kMlpFloatAccuracyPct = 97.65;
+
+/** Table 4: expanded-design totals, mm^2. */
+inline constexpr double kExpandedSnnWotNoSramMm2 = 26.79;
+inline constexpr double kExpandedSnnWotTotalMm2 = 46.06;
+inline constexpr double kExpandedSnnWtNoSramMm2 = 19.62;
+inline constexpr double kExpandedSnnWtTotalMm2 = 38.89;
+inline constexpr double kExpandedMlpNoSramMm2 = 73.14;
+inline constexpr double kExpandedMlpTotalMm2 = 79.63;
+inline constexpr double kExpandedMlp15NoSramMm2 = 10.98;
+inline constexpr double kExpandedMlp15TotalMm2 = 12.33;
+
+/** Table 4: per-operator areas, um^2. */
+inline constexpr double kAdderTree784x8Um2 = 45436.0;  // MLP hidden.
+inline constexpr double kAdderTreeSnnWotUm2 = 89006.0; // SNNwot.
+inline constexpr double kAdderTreeSnnWtUm2 = 60820.0;  // SNNwt.
+inline constexpr double kMaxOpUm2 = 6081.0;
+inline constexpr double kGaussRngUm2 = 1749.0;
+inline constexpr double kMultiplier8Um2 = 862.0;
+inline constexpr double kAdderTree15x8Um2 = 1131.0;
+
+/** Table 5: small-scale layouts. */
+inline constexpr double kSmallSnnAreaMm2 = 0.08;  // SNN 4x4-20.
+inline constexpr double kSmallSnnDelayNs = 1.18;
+inline constexpr double kSmallSnnPowerW = 0.52;
+inline constexpr double kSmallSnnEnergyNj = 0.63;
+inline constexpr double kSmallMlpAreaMm2 = 0.21;  // MLP 4x4-10-10.
+inline constexpr double kSmallMlpDelayNs = 1.96;
+inline constexpr double kSmallMlpPowerW = 0.64;
+inline constexpr double kSmallMlpEnergyNj = 1.28;
+
+/** Table 6: SRAM characteristics per ni (SNN 784-300, MLP 784-100-10). */
+struct Table6Row
+{
+    std::size_t ni;
+    std::size_t depth;
+    double readEnergyPj;
+    double bankAreaUm2;
+    std::size_t snnBanks;
+    std::size_t mlpBanks;
+    double snnEnergyNj; ///< per-cycle, all banks.
+    double mlpEnergyNj;
+    double snnAreaMm2;
+    double mlpAreaMm2;
+};
+extern const Table6Row kTable6[4];
+
+/** Table 7: folded/expanded design characteristics. */
+struct Table7Row
+{
+    const char *type;  ///< "SNNwot", "SNNwt", "MLP".
+    const char *ni;    ///< "1","4","8","16","expanded".
+    double areaNoSramMm2;
+    double totalAreaMm2;
+    double delayNs;
+    double energyUj;
+    double cyclesPerImage; ///< SNNwt rows are chunks x 500.
+};
+extern const Table7Row kTable7[15];
+
+/** Table 8: speedups and energy benefits over the K20M GPU. */
+struct Table8Row
+{
+    const char *type;
+    double speedupNi1;
+    double speedupNi16;
+    double speedupExpanded;
+    double energyNi1;
+    double energyNi16;
+    double energyExpanded;
+};
+extern const Table8Row kTable8[3];
+
+/** Table 9: SNN with online learning (STDP). */
+struct Table9Row
+{
+    std::size_t ni;
+    double areaNoSramMm2;
+    double totalAreaMm2;
+    double delayNs;
+    double energyMj;
+};
+extern const Table9Row kTable9[4];
+
+/** Section 5: TrueNorth core vs SNNwot folded ni=1. */
+inline constexpr double kTrueNorthAreaMm2 = 3.30;
+inline constexpr double kTrueNorthTimeUs = 1024.0;
+inline constexpr double kTrueNorthEnergyUj = 2.48;
+inline constexpr double kTrueNorthAccuracyPct = 89.0;
+inline constexpr double kSnnWotNi1AreaMm2 = 3.17;
+inline constexpr double kSnnWotNi1TimeUs = 0.98;
+inline constexpr double kSnnWotNi1EnergyUj = 1.03;
+
+/** Section 4.5: published workload accuracies, percent. */
+inline constexpr double kMpeg7MlpAccuracyPct = 99.7;
+inline constexpr double kMpeg7SnnAccuracyPct = 92.0;
+inline constexpr double kSadMlpAccuracyPct = 91.35;
+inline constexpr double kSadSnnAccuracyPct = 74.7;
+
+/** Figure 14: temporal vs rate coding accuracy at 300 neurons. */
+inline constexpr double kTemporalCodingAccuracyPct = 82.14;
+inline constexpr double kRateCodingAccuracyPct = 91.82;
+
+} // namespace paper
+
+/** Print a Table 7-style table with a paper column for matched rows. */
+void printDesignRows(std::ostream &os, const std::string &title,
+                     const std::vector<DesignRow> &rows);
+
+/** Format a "measured (paper X, delta%)" annotation. */
+std::string vsPaper(double measured, double published, int precision = 2);
+
+} // namespace core
+} // namespace neuro
+
+#endif // NEURO_CORE_REPORTS_H

@@ -1,0 +1,53 @@
+#include "neuro/cycle/event_queue.h"
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace cycle {
+
+void
+EventQueue::schedule(int64_t time, std::function<void(int64_t)> action)
+{
+    NEURO_ASSERT(time >= now_,
+                 "cannot schedule in the past (%lld < %lld)",
+                 static_cast<long long>(time),
+                 static_cast<long long>(now_));
+    Event event;
+    event.time = time;
+    event.sequence = sequence_++;
+    event.action = std::move(action);
+    queue_.push(std::move(event));
+}
+
+int64_t
+EventQueue::nextTime() const
+{
+    NEURO_ASSERT(!queue_.empty(), "no pending events");
+    return queue_.top().time;
+}
+
+void
+EventQueue::step()
+{
+    NEURO_ASSERT(!queue_.empty(), "no pending events");
+    // priority_queue::top() is const; move out via const_cast is UB —
+    // copy the small handle instead.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.action(now_);
+}
+
+uint64_t
+EventQueue::run(int64_t horizon)
+{
+    uint64_t processed = 0;
+    while (!queue_.empty() && queue_.top().time <= horizon) {
+        step();
+        ++processed;
+    }
+    return processed;
+}
+
+} // namespace cycle
+} // namespace neuro

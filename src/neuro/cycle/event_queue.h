@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A minimal discrete-event simulation kernel: timestamped events ordered
+ * by (time, sequence). Used by the SNN hardware-schedule simulators to
+ * process spike arrivals, and available to library users building other
+ * timed models.
+ */
+
+#ifndef NEURO_CYCLE_EVENT_QUEUE_H
+#define NEURO_CYCLE_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace neuro {
+namespace cycle {
+
+/** One scheduled event. */
+struct Event
+{
+    int64_t time = 0;     ///< firing time (cycles or ms).
+    uint64_t sequence = 0;///< tie-break: insertion order.
+    std::function<void(int64_t)> action; ///< invoked with the time.
+};
+
+/** Time-ordered event queue with deterministic tie-breaking. */
+class EventQueue
+{
+  public:
+    /** Schedule @p action at @p time (must not precede current time). */
+    void schedule(int64_t time, std::function<void(int64_t)> action);
+
+    /** @return true if no events remain. */
+    bool empty() const { return queue_.empty(); }
+
+    /** @return the current simulation time. */
+    int64_t now() const { return now_; }
+
+    /** @return the time of the next event (panics if empty). */
+    int64_t nextTime() const;
+
+    /** Pop and run the next event; advances now(). */
+    void step();
+
+    /** Run until the queue empties or @p horizon is passed.
+     *  @return number of events processed. */
+    uint64_t run(int64_t horizon = INT64_MAX);
+
+  private:
+    struct Compare
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Compare> queue_;
+    int64_t now_ = 0;
+    uint64_t sequence_ = 0;
+};
+
+} // namespace cycle
+} // namespace neuro
+
+#endif // NEURO_CYCLE_EVENT_QUEUE_H

@@ -1,0 +1,36 @@
+#include "neuro/cycle/event_sim.h"
+
+#include "neuro/common/logging.h"
+#include "neuro/cycle/event_queue.h"
+
+namespace neuro {
+namespace cycle {
+
+EventSimResult
+presentViaEventQueue(snn::SnnNetwork &net,
+                     const snn::SpikeTrainGrid &grid, bool learn)
+{
+    NEURO_ASSERT(grid.ticks.size() ==
+                     static_cast<std::size_t>(net.config().coding.periodMs),
+                 "spike grid length mismatch");
+    EventSimResult result;
+    result.ticksInWindow = grid.ticks.size();
+
+    net.beginPresentation(result.presentation);
+    EventQueue queue;
+    for (std::size_t t = 0; t < grid.ticks.size(); ++t) {
+        const auto &spikes = grid.ticks[t];
+        if (spikes.empty())
+            continue; // nothing happens: the closed-form leak covers it.
+        queue.schedule(static_cast<int64_t>(t), [&, t](int64_t now) {
+            net.stepTick(now, grid.ticks[t], learn,
+                         result.presentation);
+        });
+    }
+    result.eventsProcessed = queue.run();
+    net.finishPresentation(learn, result.presentation);
+    return result;
+}
+
+} // namespace cycle
+} // namespace neuro

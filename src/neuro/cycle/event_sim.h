@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Event-driven SNN presentation: drives the network's step API from the
+ * discrete-event kernel instead of a tick loop, processing only the
+ * instants at which spikes exist. This is the simulation structure the
+ * paper's closed-form leak enables ("it is possible to derive an
+ * analytical solution ... between two consecutive spikes"): cost scales
+ * with spike count, not with the presentation window.
+ */
+
+#ifndef NEURO_CYCLE_EVENT_SIM_H
+#define NEURO_CYCLE_EVENT_SIM_H
+
+#include <cstdint>
+
+#include "neuro/snn/network.h"
+
+namespace neuro {
+namespace cycle {
+
+/** Outcome plus event accounting. */
+struct EventSimResult
+{
+    snn::PresentationResult presentation; ///< same as presentImage().
+    uint64_t eventsProcessed = 0;         ///< spike-carrying instants.
+    uint64_t ticksInWindow = 0;           ///< window length (for the
+                                          ///< activity ratio).
+};
+
+/**
+ * Present one encoded image through @p net by scheduling one event per
+ * spike-carrying tick into an EventQueue. Produces results identical
+ * to SnnNetwork::presentImage (tests enforce equality).
+ */
+EventSimResult presentViaEventQueue(snn::SnnNetwork &net,
+                                    const snn::SpikeTrainGrid &grid,
+                                    bool learn);
+
+} // namespace cycle
+} // namespace neuro
+
+#endif // NEURO_CYCLE_EVENT_SIM_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Cycle-level simulator of the folded MLP schedule (Figure 10): the
+ * hidden layer's hardware neurons consume chunks of ni inputs per cycle
+ * (weights streamed from SRAM), buffer their outputs, then the output
+ * layer consumes them by chunks of ni. The simulator walks the schedule
+ * cycle by cycle, counting SRAM word reads, MAC operations and
+ * activation-function evaluations; tests validate it against the
+ * analytic cycle formula and the hw::Design activity model.
+ */
+
+#ifndef NEURO_CYCLE_FOLDED_MLP_SIM_H
+#define NEURO_CYCLE_FOLDED_MLP_SIM_H
+
+#include <cstdint>
+
+#include "neuro/hw/expanded.h"
+
+namespace neuro {
+namespace cycle {
+
+/** Activity counts produced by a schedule simulation. */
+struct ScheduleStats
+{
+    uint64_t cycles = 0;        ///< total cycles for one image.
+    uint64_t sramWordReads = 0; ///< SRAM word fetches (all banks).
+    uint64_t macs = 0;          ///< multiply-accumulate operations.
+    uint64_t adds = 0;          ///< plain additions (SNN datapaths).
+    uint64_t activations = 0;   ///< sigmoid / threshold evaluations.
+    uint64_t maxOps = 0;        ///< comparator operations in readout.
+    uint64_t idleLanes = 0;     ///< datapath lanes idle in final chunks.
+};
+
+/**
+ * Simulate one image through the folded MLP.
+ *
+ * @param topo network topology.
+ * @param ni   inputs per cycle per hardware neuron.
+ */
+ScheduleStats simulateFoldedMlp(const hw::MlpTopology &topo,
+                                std::size_t ni);
+
+} // namespace cycle
+} // namespace neuro
+
+#endif // NEURO_CYCLE_FOLDED_MLP_SIM_H

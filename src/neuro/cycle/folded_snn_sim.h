@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Cycle-level simulators of the folded SNN schedules (Section 4.3.2).
+ *
+ * SNNwot: pixels are converted to 4-bit counts, every neuron accumulates
+ * chunks of ni weighted counts, then a two-level max tree reads out —
+ * one pass per image.
+ *
+ * SNNwt: the whole presentation window is emulated step by step (one
+ * clock cycle per simulated millisecond); each step scans all inputs in
+ * chunks of ni. Activity (and hence data-dependent energy) follows the
+ * actual number of spikes per step, which callers provide from an
+ * encoded spike train.
+ */
+
+#ifndef NEURO_CYCLE_FOLDED_SNN_SIM_H
+#define NEURO_CYCLE_FOLDED_SNN_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "neuro/cycle/folded_mlp_sim.h"
+#include "neuro/hw/expanded.h"
+
+namespace neuro {
+namespace cycle {
+
+/** Simulate one image through the folded SNNwot. */
+ScheduleStats simulateFoldedSnnWot(const hw::SnnTopology &topo,
+                                   std::size_t ni);
+
+/**
+ * Simulate one presentation window through the folded SNNwt.
+ *
+ * @param topo            network topology.
+ * @param ni              inputs scanned per cycle.
+ * @param spikes_per_step number of input spikes arriving at each 1 ms
+ *                        step (size = presentation window in ms); adds
+ *                        are only counted for steps that carry spikes,
+ *                        modelling clock/data gating.
+ */
+ScheduleStats
+simulateFoldedSnnWt(const hw::SnnTopology &topo, std::size_t ni,
+                    const std::vector<uint32_t> &spikes_per_step);
+
+} // namespace cycle
+} // namespace neuro
+
+#endif // NEURO_CYCLE_FOLDED_SNN_SIM_H

@@ -1,0 +1,44 @@
+#include "neuro/cycle/pipeline.h"
+
+#include <algorithm>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace cycle {
+
+void
+StaggeredPipeline::addStage(std::string name, uint64_t cycles)
+{
+    NEURO_ASSERT(cycles > 0, "stage must take at least one cycle");
+    stages_.push_back({std::move(name), cycles});
+}
+
+uint64_t
+StaggeredPipeline::latency() const
+{
+    uint64_t total = 0;
+    for (const auto &s : stages_)
+        total += s.cycles;
+    return total;
+}
+
+uint64_t
+StaggeredPipeline::initiationInterval() const
+{
+    uint64_t ii = 1;
+    for (const auto &s : stages_)
+        ii = std::max(ii, s.cycles);
+    return ii;
+}
+
+uint64_t
+StaggeredPipeline::totalCycles(uint64_t items) const
+{
+    if (items == 0)
+        return 0;
+    return latency() + (items - 1) * initiationInterval();
+}
+
+} // namespace cycle
+} // namespace neuro

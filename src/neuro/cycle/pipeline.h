@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Staggered-pipeline model (Section 4.3.1): folded designs cannot accept
+ * a new image every cycle; each stage occupies its hardware for several
+ * cycles (like multi-cycle floating-point units). This model computes
+ * per-image latency and steady-state throughput for a chain of
+ * multi-cycle stages.
+ */
+
+#ifndef NEURO_CYCLE_PIPELINE_H
+#define NEURO_CYCLE_PIPELINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neuro {
+namespace cycle {
+
+/** One pipeline stage. */
+struct Stage
+{
+    std::string name;     ///< e.g. "hidden layer".
+    uint64_t cycles = 1;  ///< occupancy per item.
+};
+
+/** A linear chain of multi-cycle stages. */
+class StaggeredPipeline
+{
+  public:
+    /** Append a stage. */
+    void addStage(std::string name, uint64_t cycles);
+
+    /** @return number of stages. */
+    std::size_t numStages() const { return stages_.size(); }
+
+    /** @return latency of one item through all stages, in cycles. */
+    uint64_t latency() const;
+
+    /**
+     * @return steady-state initiation interval in cycles (the slowest
+     * stage bounds throughput).
+     */
+    uint64_t initiationInterval() const;
+
+    /**
+     * @return total cycles to process @p items back-to-back:
+     * latency + (items-1) * initiation interval.
+     */
+    uint64_t totalCycles(uint64_t items) const;
+
+    /** @return the stages. */
+    const std::vector<Stage> &stages() const { return stages_; }
+
+  private:
+    std::vector<Stage> stages_;
+};
+
+} // namespace cycle
+} // namespace neuro
+
+#endif // NEURO_CYCLE_PIPELINE_H

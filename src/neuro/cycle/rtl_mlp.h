@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Register-transfer-level simulation of the folded MLP datapath
+ * (Figure 11). Where folded_mlp_sim.h walks the *schedule*, this model
+ * executes the *data*: explicit input/weight buffers, a word-wide
+ * synaptic SRAM, ni multipliers feeding an adder tree and accumulator,
+ * and the shared piecewise-linear sigmoid stage — all advanced cycle by
+ * cycle.
+ *
+ * The paper validates its fast C++ simulators against the RTL
+ * ("We validated both simulators against their RTL counterpart",
+ * Section 4.1); this class plays the RTL role here: its outputs are
+ * bit-identical to the functional QuantizedMlp, which the tests verify,
+ * while also producing toggle-level activity for the energy model.
+ */
+
+#ifndef NEURO_CYCLE_RTL_MLP_H
+#define NEURO_CYCLE_RTL_MLP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "neuro/mlp/quantized.h"
+
+namespace neuro {
+namespace cycle {
+
+/** Activity observed during one RTL run. */
+struct RtlRunStats
+{
+    uint64_t cycles = 0;      ///< clock cycles consumed.
+    uint64_t sramReads = 0;   ///< weight-word fetches.
+    uint64_t multOps = 0;     ///< active multiplier lanes.
+    uint64_t addOps = 0;      ///< adder-tree activations.
+    uint64_t regToggles = 0;  ///< accumulator bit flips (activity).
+    uint64_t activations = 0; ///< sigmoid-stage evaluations.
+};
+
+/** Cycle-by-cycle structural model of the folded MLP. */
+class RtlFoldedMlp
+{
+  public:
+    /**
+     * Build around a quantized network.
+     * @param reference the functional model providing weights/geometry
+     *        (must outlive this object).
+     * @param ni inputs consumed per neuron per cycle.
+     */
+    RtlFoldedMlp(const mlp::QuantizedMlp &reference, std::size_t ni);
+
+    /** Process one image through the datapath.
+     *  @param pixels  inputSize() luminance bytes.
+     *  @param output  outputSize() activation bytes (written).
+     *  @return activity statistics. */
+    RtlRunStats run(const uint8_t *pixels, uint8_t *output);
+
+    /** @return argmax class for @p pixels. */
+    int predict(const uint8_t *pixels);
+
+    /** @return the fold factor. */
+    std::size_t ni() const { return ni_; }
+
+  private:
+    /** One hardware neuron's architectural state (Figure 11). */
+    struct NeuronState
+    {
+        int32_t accumulator = 0;  ///< partial-sum register.
+        uint8_t outputReg = 0;    ///< activation output register.
+    };
+
+    const mlp::QuantizedMlp &ref_;
+    std::size_t ni_;
+    std::vector<NeuronState> neurons_; ///< one per hardware neuron.
+    std::vector<uint8_t> inputBuffer_; ///< ni-entry input latch.
+};
+
+} // namespace cycle
+} // namespace neuro
+
+#endif // NEURO_CYCLE_RTL_MLP_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Register-transfer-level simulation of the folded SNNwot datapath
+ * (Figure 7, folded per Section 4.3.2): the pixel-to-count convertor
+ * channels, per-neuron shift-multiply lanes and accumulators streaming
+ * weights from SRAM, and the final two-level max tree. Outputs are
+ * bit-identical to the functional SnnWotDatapath (tests enforce this),
+ * with toggle-level activity for the energy model.
+ */
+
+#ifndef NEURO_CYCLE_RTL_SNN_H
+#define NEURO_CYCLE_RTL_SNN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "neuro/cycle/rtl_mlp.h"
+#include "neuro/snn/coding.h"
+#include "neuro/snn/snn_wot.h"
+
+namespace neuro {
+namespace cycle {
+
+/** Cycle-by-cycle structural model of the folded SNNwot. */
+class RtlFoldedSnnWot
+{
+  public:
+    /**
+     * @param datapath functional reference providing quantized weights
+     *        (must outlive this object).
+     * @param encoder  the pixel-to-spike-count conversion rule.
+     * @param ni       inputs consumed per neuron per cycle.
+     */
+    RtlFoldedSnnWot(const snn::SnnWotDatapath &datapath,
+                    const snn::SpikeEncoder &encoder, std::size_t ni);
+
+    /**
+     * Process one image (raw pixels; the convertor stage derives the
+     * 4-bit counts on the fly).
+     * @param pixels     numInputs() luminance bytes.
+     * @param potentials optional sink for the final potentials.
+     * @return pair of (winner neuron, activity statistics).
+     */
+    std::pair<int, RtlRunStats>
+    run(const uint8_t *pixels,
+        std::vector<uint32_t> *potentials = nullptr);
+
+    /** @return the fold factor. */
+    std::size_t ni() const { return ni_; }
+
+  private:
+    const snn::SnnWotDatapath &ref_;
+    const snn::SpikeEncoder &encoder_;
+    std::size_t ni_;
+    std::vector<uint32_t> accumulators_; ///< per-neuron potential regs.
+    std::vector<uint8_t> countBuffer_;   ///< ni-entry count latch.
+};
+
+} // namespace cycle
+} // namespace neuro
+
+#endif // NEURO_CYCLE_RTL_SNN_H

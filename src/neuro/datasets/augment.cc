@@ -1,0 +1,113 @@
+#include "neuro/datasets/augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "neuro/common/logging.h"
+#include "neuro/common/rng.h"
+
+namespace neuro {
+namespace datasets {
+
+namespace {
+
+/** Bilinear sample of a uint8 image; out-of-frame reads 0. */
+float
+sampleBilinear(const std::vector<uint8_t> &pixels, std::size_t width,
+               std::size_t height, float x, float y)
+{
+    const float fx = x - 0.5f;
+    const float fy = y - 0.5f;
+    const long x0 = static_cast<long>(std::floor(fx));
+    const long y0 = static_cast<long>(std::floor(fy));
+    const float ax = fx - static_cast<float>(x0);
+    const float ay = fy - static_cast<float>(y0);
+    auto at = [&](long xi, long yi) -> float {
+        if (xi < 0 || yi < 0 || xi >= static_cast<long>(width) ||
+            yi >= static_cast<long>(height)) {
+            return 0.0f;
+        }
+        return static_cast<float>(
+            pixels[static_cast<std::size_t>(yi) * width +
+                   static_cast<std::size_t>(xi)]);
+    };
+    return (1 - ax) * (1 - ay) * at(x0, y0) +
+           ax * (1 - ay) * at(x0 + 1, y0) +
+           (1 - ax) * ay * at(x0, y0 + 1) +
+           ax * ay * at(x0 + 1, y0 + 1);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+warpImage(const std::vector<uint8_t> &pixels, std::size_t width,
+          std::size_t height, float rotation, float scale, float shear,
+          float translate_x, float translate_y, float noise_stddev,
+          Rng &rng)
+{
+    NEURO_ASSERT(pixels.size() == width * height, "geometry mismatch");
+    std::vector<uint8_t> out(width * height, 0);
+    const float cx = static_cast<float>(width) * 0.5f;
+    const float cy = static_cast<float>(height) * 0.5f;
+    const float cosr = std::cos(rotation);
+    const float sinr = std::sin(rotation);
+    const float inv_scale = 1.0f / std::max(scale, 0.05f);
+
+    for (std::size_t py = 0; py < height; ++py) {
+        for (std::size_t px = 0; px < width; ++px) {
+            // Inverse-map the output pixel centre into source space.
+            float x = static_cast<float>(px) + 0.5f - cx - translate_x;
+            float y = static_cast<float>(py) + 0.5f - cy - translate_y;
+            float rx = cosr * x + sinr * y;
+            float ry = -sinr * x + cosr * y;
+            rx -= shear * ry;
+            rx *= inv_scale;
+            ry *= inv_scale;
+            float lum = sampleBilinear(pixels, width, height, rx + cx,
+                                       ry + cy);
+            if (noise_stddev > 0.0f) {
+                lum += static_cast<float>(
+                    rng.gaussian(0.0, noise_stddev));
+            }
+            out[py * width + px] = static_cast<uint8_t>(
+                std::clamp(lum, 0.0f, 255.0f));
+        }
+    }
+    return out;
+}
+
+Dataset
+augment(const Dataset &data, std::size_t copies_per_sample,
+        const AugmentOptions &options, uint64_t seed)
+{
+    NEURO_ASSERT(!data.empty(), "cannot augment an empty dataset");
+    Dataset out(data.name() + "-augmented", data.width(), data.height(),
+                data.numClasses());
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 131);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const Sample &original = data[i];
+        out.add(original);
+        for (std::size_t c = 0; c < copies_per_sample; ++c) {
+            Sample warped;
+            warped.label = original.label;
+            warped.pixels = warpImage(
+                original.pixels, data.width(), data.height(),
+                static_cast<float>(rng.uniform(-options.maxRotation,
+                                               options.maxRotation)),
+                static_cast<float>(
+                    rng.uniform(options.minScale, options.maxScale)),
+                static_cast<float>(
+                    rng.uniform(-options.maxShear, options.maxShear)),
+                static_cast<float>(rng.uniform(-options.maxTranslate,
+                                               options.maxTranslate)),
+                static_cast<float>(rng.uniform(-options.maxTranslate,
+                                               options.maxTranslate)),
+                options.noiseStddev, rng);
+            out.add(std::move(warped));
+        }
+    }
+    return out;
+}
+
+} // namespace datasets
+} // namespace neuro

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Dataset augmentation: affine warps (rotation, scale, shear,
+ * translation) and luminance noise applied to *existing* images via
+ * bilinear resampling — the distortion machinery of the handwriting
+ * literature the paper cites (e.g. Simard et al. [22], whose 98.4% MLP
+ * baseline used distorted training data). Works on any Dataset,
+ * including real MNIST loaded from IDX files.
+ */
+
+#ifndef NEURO_DATASETS_AUGMENT_H
+#define NEURO_DATASETS_AUGMENT_H
+
+#include <cstdint>
+
+#include "neuro/datasets/dataset.h"
+
+namespace neuro {
+
+class Rng;
+
+namespace datasets {
+
+/** Augmentation ranges (each sample draws uniformly within them). */
+struct AugmentOptions
+{
+    float maxRotation = 0.15f;  ///< radians.
+    float minScale = 0.9f;      ///< isotropic scale low.
+    float maxScale = 1.1f;      ///< isotropic scale high.
+    float maxShear = 0.1f;      ///< x-shear coefficient.
+    float maxTranslate = 1.5f;  ///< pixels.
+    float noiseStddev = 6.0f;   ///< additive luminance noise.
+};
+
+/**
+ * Warp one image with an affine transform (about the image centre)
+ * plus noise, bilinearly resampled; out-of-frame samples read as 0.
+ */
+std::vector<uint8_t>
+warpImage(const std::vector<uint8_t> &pixels, std::size_t width,
+          std::size_t height, float rotation, float scale, float shear,
+          float translate_x, float translate_y, float noise_stddev,
+          Rng &rng);
+
+/**
+ * Produce an augmented dataset: the originals plus
+ * @p copies_per_sample randomly warped variants of each (labels
+ * preserved, deterministic per seed).
+ */
+Dataset augment(const Dataset &data, std::size_t copies_per_sample,
+                const AugmentOptions &options, uint64_t seed);
+
+} // namespace datasets
+} // namespace neuro
+
+#endif // NEURO_DATASETS_AUGMENT_H

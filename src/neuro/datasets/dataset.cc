@@ -1,0 +1,68 @@
+#include "neuro/datasets/dataset.h"
+
+#include <algorithm>
+
+#include "neuro/common/logging.h"
+#include "neuro/common/rng.h"
+
+namespace neuro {
+namespace datasets {
+
+Dataset::Dataset(std::string name, std::size_t width, std::size_t height,
+                 int num_classes)
+    : name_(std::move(name)), width_(width), height_(height),
+      numClasses_(num_classes)
+{
+    NEURO_ASSERT(width_ > 0 && height_ > 0, "empty geometry");
+    NEURO_ASSERT(numClasses_ > 0, "dataset needs at least one class");
+}
+
+void
+Dataset::add(Sample sample)
+{
+    NEURO_ASSERT(sample.pixels.size() == inputSize(),
+                 "sample has %zu pixels, dataset expects %zu",
+                 sample.pixels.size(), inputSize());
+    NEURO_ASSERT(sample.label >= 0 && sample.label < numClasses_,
+                 "label %d out of range [0,%d)", sample.label, numClasses_);
+    samples_.push_back(std::move(sample));
+}
+
+void
+Dataset::normalized(std::size_t i, float *out) const
+{
+    NEURO_ASSERT(i < samples_.size(), "sample index out of range");
+    const auto &px = samples_[i].pixels;
+    for (std::size_t k = 0; k < px.size(); ++k)
+        out[k] = static_cast<float>(px[k]) / 255.0f;
+}
+
+Dataset
+Dataset::slice(std::size_t begin, std::size_t end) const
+{
+    NEURO_ASSERT(begin <= end && end <= samples_.size(),
+                 "bad slice [%zu,%zu) of %zu", begin, end, samples_.size());
+    Dataset out(name_, width_, height_, numClasses_);
+    for (std::size_t i = begin; i < end; ++i)
+        out.samples_.push_back(samples_[i]);
+    return out;
+}
+
+void
+Dataset::shuffle(Rng &rng)
+{
+    for (std::size_t i = samples_.size(); i > 1; --i)
+        std::swap(samples_[i - 1], samples_[rng.uniformInt(i)]);
+}
+
+std::vector<std::size_t>
+Dataset::classHistogram() const
+{
+    std::vector<std::size_t> hist(static_cast<std::size_t>(numClasses_), 0);
+    for (const auto &s : samples_)
+        ++hist[static_cast<std::size_t>(s.label)];
+    return hist;
+}
+
+} // namespace datasets
+} // namespace neuro

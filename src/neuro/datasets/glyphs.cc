@@ -1,0 +1,169 @@
+#include "neuro/datasets/glyphs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "neuro/common/logging.h"
+#include "neuro/common/rng.h"
+
+namespace neuro {
+namespace datasets {
+
+GlyphBitmap
+GlyphBitmap::fromRows(const std::vector<std::string> &rows)
+{
+    NEURO_ASSERT(!rows.empty(), "glyph needs at least one row");
+    GlyphBitmap g;
+    g.height = rows.size();
+    g.width = rows[0].size();
+    g.cells.reserve(g.width * g.height);
+    for (const auto &row : rows) {
+        NEURO_ASSERT(row.size() == g.width, "ragged glyph rows");
+        for (char c : row)
+            g.cells.push_back(c == '#' ? 1 : 0);
+    }
+    return g;
+}
+
+bool
+GlyphBitmap::at(long x, long y) const
+{
+    if (x < 0 || y < 0 || x >= static_cast<long>(width) ||
+        y >= static_cast<long>(height)) {
+        return false;
+    }
+    return cells[static_cast<std::size_t>(y) * width +
+                 static_cast<std::size_t>(x)] != 0;
+}
+
+float
+GlyphBitmap::sample(float x, float y) const
+{
+    const float fx = x - 0.5f;
+    const float fy = y - 0.5f;
+    const long x0 = static_cast<long>(std::floor(fx));
+    const long y0 = static_cast<long>(std::floor(fy));
+    const float ax = fx - static_cast<float>(x0);
+    const float ay = fy - static_cast<float>(y0);
+    const float v00 = at(x0, y0) ? 1.0f : 0.0f;
+    const float v10 = at(x0 + 1, y0) ? 1.0f : 0.0f;
+    const float v01 = at(x0, y0 + 1) ? 1.0f : 0.0f;
+    const float v11 = at(x0 + 1, y0 + 1) ? 1.0f : 0.0f;
+    return (1 - ax) * (1 - ay) * v00 + ax * (1 - ay) * v10 +
+           (1 - ax) * ay * v01 + ax * ay * v11;
+}
+
+AffineJitter
+randomJitter(Rng &rng, float max_rotation, float min_scale, float max_scale,
+             float max_shear, float max_translate, float max_thickness,
+             float noise_stddev)
+{
+    AffineJitter j;
+    j.rotation = static_cast<float>(rng.uniform(-max_rotation, max_rotation));
+    j.scale = static_cast<float>(rng.uniform(min_scale, max_scale));
+    j.shear = static_cast<float>(rng.uniform(-max_shear, max_shear));
+    j.translateX =
+        static_cast<float>(rng.uniform(-max_translate, max_translate));
+    j.translateY =
+        static_cast<float>(rng.uniform(-max_translate, max_translate));
+    j.thickness = static_cast<float>(rng.uniform(0.0, max_thickness));
+    j.noiseStddev = noise_stddev;
+    return j;
+}
+
+namespace {
+
+/**
+ * Common rasterization core: for each output pixel, map its centre back
+ * into source space via the inverse affine transform and evaluate the
+ * coverage function there; then apply noise and quantize.
+ */
+std::vector<uint8_t>
+rasterize(const std::function<float(float, float)> &coverage,
+          std::size_t width, std::size_t height, const AffineJitter &jitter,
+          Rng &rng)
+{
+    std::vector<uint8_t> out(width * height, 0);
+    const float cx = static_cast<float>(width) * 0.5f;
+    const float cy = static_cast<float>(height) * 0.5f;
+    const float cosr = std::cos(jitter.rotation);
+    const float sinr = std::sin(jitter.rotation);
+    const float inv_scale = 1.0f / std::max(jitter.scale, 0.05f);
+
+    for (std::size_t py = 0; py < height; ++py) {
+        for (std::size_t px = 0; px < width; ++px) {
+            // Output pixel centre, recentred and untranslated.
+            float x = static_cast<float>(px) + 0.5f - cx - jitter.translateX;
+            float y = static_cast<float>(py) + 0.5f - cy - jitter.translateY;
+            // Inverse rotation.
+            float rx = cosr * x + sinr * y;
+            float ry = -sinr * x + cosr * y;
+            // Inverse shear (forward transform applies x += shear*y).
+            rx -= jitter.shear * ry;
+            // Inverse scale.
+            rx *= inv_scale;
+            ry *= inv_scale;
+            const float v = coverage(rx, ry);
+            float lum = 255.0f * std::clamp(v, 0.0f, 1.0f);
+            if (jitter.noiseStddev > 0.0f) {
+                lum += static_cast<float>(
+                    rng.gaussian(0.0, jitter.noiseStddev));
+            }
+            out[py * width + px] = static_cast<uint8_t>(
+                std::clamp(lum, 0.0f, 255.0f));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+renderGlyph(const GlyphBitmap &glyph, std::size_t width, std::size_t height,
+            const AffineJitter &jitter, Rng &rng)
+{
+    // The glyph occupies ~70% of the output tile, as MNIST digits do.
+    const float gw = static_cast<float>(glyph.width);
+    const float gh = static_cast<float>(glyph.height);
+    const float tile = 0.7f * static_cast<float>(std::min(width, height));
+    const float unit = tile / std::max(gw, gh);
+
+    auto coverage = [&](float x, float y) {
+        // Map centred pixel coordinates into glyph space.
+        const float gx = x / unit + gw * 0.5f;
+        const float gy = y / unit + gh * 0.5f;
+        float v = glyph.sample(gx, gy);
+        if (jitter.thickness > 0.0f) {
+            // Dilate: max coverage over a small ring of offsets.
+            const float r = jitter.thickness;
+            static const float offs[4][2] = {
+                {1.f, 0.f}, {-1.f, 0.f}, {0.f, 1.f}, {0.f, -1.f}};
+            for (const auto &o : offs) {
+                v = std::max(v,
+                             glyph.sample(gx + o[0] * r, gy + o[1] * r));
+            }
+        }
+        return v;
+    };
+    return rasterize(coverage, width, height, jitter, rng);
+}
+
+std::vector<uint8_t>
+renderSdf(const std::function<float(float, float)> &sdf, std::size_t width,
+          std::size_t height, const AffineJitter &jitter, Rng &rng)
+{
+    // The unit SDF domain spans ~80% of the tile; smooth the boundary by
+    // about one pixel for anti-aliased edges.
+    const float half = 0.4f * static_cast<float>(std::min(width, height));
+    const float edge = 1.0f / half;
+    auto coverage = [&](float x, float y) {
+        const float d = sdf(x / half, y / half) - jitter.thickness * edge;
+        // Smoothstep from d=+edge (outside) to d=-edge (inside).
+        const float t = std::clamp((edge - d) / (2.0f * edge), 0.0f, 1.0f);
+        return t * t * (3.0f - 2.0f * t);
+    };
+    return rasterize(coverage, width, height, jitter, rng);
+}
+
+} // namespace datasets
+} // namespace neuro

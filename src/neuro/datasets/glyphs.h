@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Glyph rasterization shared by the synthetic digit and shape generators.
+ * A glyph is a small binary bitmap (or a signed-distance function) that is
+ * rendered into an 8-bit luminance image under a random affine transform
+ * with stroke-thickness and noise jitter, producing MNIST-like variation.
+ */
+
+#ifndef NEURO_DATASETS_GLYPHS_H
+#define NEURO_DATASETS_GLYPHS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace neuro {
+
+class Rng;
+
+namespace datasets {
+
+/** A small binary bitmap glyph described by '#'/'.' rows. */
+struct GlyphBitmap
+{
+    std::size_t width = 0;           ///< columns.
+    std::size_t height = 0;          ///< rows.
+    std::vector<uint8_t> cells;      ///< row-major 0/1 occupancy.
+
+    /** Parse from equal-length strings; '#' marks ink. */
+    static GlyphBitmap fromRows(const std::vector<std::string> &rows);
+
+    /** @return occupancy at (x,y); out-of-range coordinates are empty. */
+    bool at(long x, long y) const;
+
+    /**
+     * Bilinear ink coverage at continuous glyph coordinates in
+     * [0,width) x [0,height); returns a value in [0,1].
+     */
+    float sample(float x, float y) const;
+};
+
+/** Parameters of a 2-D affine jitter applied when rasterizing. */
+struct AffineJitter
+{
+    float rotation = 0.0f;    ///< radians.
+    float scale = 1.0f;       ///< isotropic scale.
+    float shear = 0.0f;       ///< x-shear coefficient.
+    float translateX = 0.0f;  ///< pixels, output space.
+    float translateY = 0.0f;  ///< pixels, output space.
+    float thickness = 0.0f;   ///< extra stroke radius, glyph cells.
+    float noiseStddev = 0.0f; ///< additive luminance noise (0..255 scale).
+};
+
+/** Draw a random jitter within the given extremes. */
+AffineJitter randomJitter(Rng &rng, float max_rotation, float min_scale,
+                          float max_scale, float max_shear,
+                          float max_translate, float max_thickness,
+                          float noise_stddev);
+
+/**
+ * Rasterize @p glyph into a width x height 8-bit luminance image under
+ * @p jitter. Ink is bright (towards 255) on a dark background, matching
+ * MNIST's polarity.
+ */
+std::vector<uint8_t> renderGlyph(const GlyphBitmap &glyph, std::size_t width,
+                                 std::size_t height,
+                                 const AffineJitter &jitter, Rng &rng);
+
+/**
+ * Rasterize a signed-distance function (negative inside) under @p jitter;
+ * the SDF is expressed in a unit domain [-1,1]^2.
+ */
+std::vector<uint8_t>
+renderSdf(const std::function<float(float, float)> &sdf, std::size_t width,
+          std::size_t height, const AffineJitter &jitter, Rng &rng);
+
+} // namespace datasets
+} // namespace neuro
+
+#endif // NEURO_DATASETS_GLYPHS_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Loader for the original MNIST IDX file format (big-endian headers), so
+ * that runs on machines with the real dataset reproduce the paper on the
+ * authentic inputs. Entirely optional: all benches fall back to the
+ * synthetic generator when the files are absent.
+ */
+
+#ifndef NEURO_DATASETS_IDX_LOADER_H
+#define NEURO_DATASETS_IDX_LOADER_H
+
+#include <string>
+
+#include "neuro/datasets/dataset.h"
+
+namespace neuro {
+namespace datasets {
+
+/**
+ * Load `train-images-idx3-ubyte` / `train-labels-idx1-ubyte` /
+ * `t10k-images-idx3-ubyte` / `t10k-labels-idx1-ubyte` from @p dir,
+ * truncated to the requested sizes (0 = all).
+ *
+ * @return true on success; on failure @p out is untouched.
+ */
+bool loadMnistIdx(const std::string &dir, std::size_t train_size,
+                  std::size_t test_size, Split &out);
+
+} // namespace datasets
+} // namespace neuro
+
+#endif // NEURO_DATASETS_IDX_LOADER_H

@@ -1,0 +1,125 @@
+#include "neuro/datasets/spoken_digits.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "neuro/common/logging.h"
+#include "neuro/common/rng.h"
+
+namespace neuro {
+namespace datasets {
+
+namespace {
+
+/** One formant trajectory in (frame, coefficient) space. */
+struct Track
+{
+    float start;     ///< coefficient index at frame 0.
+    float slope;     ///< coefficient drift per frame.
+    float curvature; ///< quadratic term.
+    float amplitude; ///< peak luminance contribution (0..1).
+    float bandwidth; ///< Gaussian width across coefficients.
+};
+
+/** Class prototype: a fixed set of tracks drawn from a seeded RNG. */
+std::vector<Track>
+makePrototype(Rng &rng, const SpokenDigitsOptions &opt)
+{
+    std::vector<Track> tracks;
+    const float coeffs = static_cast<float>(opt.coeffs);
+    for (int t = 0; t < opt.tracksPerClass; ++t) {
+        Track track;
+        track.start = static_cast<float>(rng.uniform(1.0, coeffs - 2.0));
+        track.slope = static_cast<float>(rng.uniform(-0.45, 0.45));
+        track.curvature = static_cast<float>(rng.uniform(-0.035, 0.035));
+        track.amplitude = static_cast<float>(rng.uniform(0.55, 1.0));
+        track.bandwidth = static_cast<float>(rng.uniform(0.8, 1.7));
+        tracks.push_back(track);
+    }
+    return tracks;
+}
+
+/** Render one utterance of @p prototype with speaker jitter. */
+std::vector<uint8_t>
+renderUtterance(const std::vector<Track> &prototype,
+                const SpokenDigitsOptions &opt, Rng &rng)
+{
+    const std::size_t w = opt.frames;
+    const std::size_t h = opt.coeffs;
+    std::vector<float> image(w * h, 0.0f);
+
+    const float tempo =
+        1.0f + opt.jitter * static_cast<float>(rng.uniform(-0.3, 0.3));
+    const float globalShift =
+        opt.jitter * static_cast<float>(rng.uniform(-1.2, 1.2));
+
+    for (const Track &proto : prototype) {
+        Track track = proto;
+        track.start += globalShift +
+            opt.jitter * static_cast<float>(rng.gaussian(0.0, 0.5));
+        track.slope *= tempo;
+        track.amplitude *= 1.0f +
+            opt.jitter * static_cast<float>(rng.uniform(-0.25, 0.25));
+
+        for (std::size_t frame = 0; frame < w; ++frame) {
+            const float f = static_cast<float>(frame);
+            const float centre =
+                track.start + track.slope * f + track.curvature * f * f;
+            for (std::size_t c = 0; c < h; ++c) {
+                const float d =
+                    (static_cast<float>(c) - centre) / track.bandwidth;
+                image[c * w + frame] +=
+                    track.amplitude * std::exp(-0.5f * d * d);
+            }
+        }
+    }
+
+    std::vector<uint8_t> pixels(w * h);
+    for (std::size_t i = 0; i < image.size(); ++i) {
+        float lum = 255.0f * std::min(image[i], 1.0f);
+        lum += static_cast<float>(rng.gaussian(0.0, opt.noiseStddev));
+        pixels[i] = static_cast<uint8_t>(std::clamp(lum, 0.0f, 255.0f));
+    }
+    return pixels;
+}
+
+} // namespace
+
+Split
+makeSpokenDigits(const SpokenDigitsOptions &options)
+{
+    NEURO_ASSERT(options.numClasses > 0, "need at least one class");
+
+    // Class prototypes come from a dedicated RNG so the class structure is
+    // a function of the seed only, not of the sample counts.
+    Rng proto_rng(options.seed * 0x2545f4914f6cdd1dULL + 41);
+    std::vector<std::vector<Track>> prototypes;
+    for (int c = 0; c < options.numClasses; ++c)
+        prototypes.push_back(makePrototype(proto_rng, options));
+
+    Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 43);
+    Split split;
+    split.train = Dataset("spoken-digits-train", options.frames,
+                          options.coeffs, options.numClasses);
+    split.test = Dataset("spoken-digits-test", options.frames,
+                         options.coeffs, options.numClasses);
+
+    auto generate = [&](Dataset &out, std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+            const int label = static_cast<int>(
+                rng.uniformInt(static_cast<uint64_t>(options.numClasses)));
+            Sample s;
+            s.label = label;
+            s.pixels = renderUtterance(
+                prototypes[static_cast<std::size_t>(label)], options, rng);
+            out.add(std::move(s));
+        }
+    };
+    generate(split.train, options.trainSize);
+    generate(split.test, options.testSize);
+    return split;
+}
+
+} // namespace datasets
+} // namespace neuro

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Synthetic spoken-digit workload: the offline stand-in for the UCI
+ * Spoken Arabic Digits (SAD) dataset used in the paper's Section 4.5.
+ *
+ * Each sample is a 13x13 "cepstral image" (13 MFCC-like coefficients over
+ * 13 time frames) generated from a per-class formant-trajectory model:
+ * every class owns a small set of coefficient-space trajectories with
+ * class-specific start positions, slopes and curvatures; a sample renders
+ * those trajectories with speaker-like jitter (tempo, amplitude, offset)
+ * plus noise. This matches the paper's input geometry (13x13 -> MLP
+ * 13x13-60-10, SNN 13x13-90) and its qualitative "harder task, smaller
+ * SNN/MLP gap" behaviour.
+ */
+
+#ifndef NEURO_DATASETS_SPOKEN_DIGITS_H
+#define NEURO_DATASETS_SPOKEN_DIGITS_H
+
+#include <cstdint>
+
+#include "neuro/datasets/dataset.h"
+
+namespace neuro {
+namespace datasets {
+
+/** Generation knobs for the spoken-digit workload. */
+struct SpokenDigitsOptions
+{
+    std::size_t trainSize = 6000; ///< training samples.
+    std::size_t testSize = 1500;  ///< test samples.
+    uint64_t seed = 3;            ///< generator seed.
+    std::size_t frames = 13;      ///< time frames (image width).
+    std::size_t coeffs = 13;      ///< cepstral coefficients (height).
+    int numClasses = 10;          ///< digit classes.
+    int tracksPerClass = 3;       ///< formant trajectories per class.
+    float noiseStddev = 14.0f;    ///< additive luminance noise.
+    float jitter = 0.35f;         ///< speaker variability factor.
+};
+
+/** Generate a train/test split of synthetic spoken digits. */
+Split makeSpokenDigits(const SpokenDigitsOptions &options);
+
+} // namespace datasets
+} // namespace neuro
+
+#endif // NEURO_DATASETS_SPOKEN_DIGITS_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Analytic GPU execution model for the Table 8 baseline: the paper runs
+ * CUBLAS-sgemv-based implementations of the MLP and SNNwot on an NVIDIA
+ * K20M and reports accelerator speedups of 40x-6000x. For these tiny
+ * layers (100-300 neurons, 784 inputs) the GPU is dominated by fixed
+ * per-kernel costs — kernel launch, device synchronization and PCIe
+ * transfers — not by arithmetic; the model therefore charges per-kernel
+ * and per-transfer latencies plus roofline compute/bandwidth terms.
+ * Constants are calibrated so the derived per-image times land where the
+ * paper's speedups put them (~55-80 us/image for all three networks).
+ */
+
+#ifndef NEURO_GPU_GPU_MODEL_H
+#define NEURO_GPU_GPU_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+namespace neuro {
+namespace gpu {
+
+/** GPU device parameters (defaults: NVIDIA K20M, CUDA 5.5 era). */
+struct GpuParams
+{
+    std::string name = "NVIDIA K20M";
+    double peakGflops = 3520.0;     ///< single-precision peak.
+    double memBandwidthGBs = 208.0; ///< device DRAM bandwidth.
+    double pcieBandwidthGBs = 6.0;  ///< effective host transfer rate.
+    double kernelLaunchUs = 12.0;   ///< launch + driver overhead.
+    double transferLatencyUs = 8.0; ///< per-cudaMemcpy fixed latency.
+    double syncUs = 10.0;           ///< per-image device synchronize.
+    double activePowerW = 60.0;     ///< average power while busy.
+};
+
+/** One network's per-image GPU workload. */
+struct GpuWorkload
+{
+    std::string name;        ///< e.g. "MLP 784-100-10".
+    uint64_t flops = 0;      ///< arithmetic per image (2 x MACs).
+    uint64_t deviceBytes = 0;///< weight/activation traffic per image.
+    uint64_t hostBytes = 0;  ///< PCIe traffic per image (in + out).
+    int kernels = 0;         ///< kernel launches per image.
+    int transfers = 0;       ///< cudaMemcpy calls per image.
+};
+
+/** Derived per-image cost. */
+struct GpuCost
+{
+    double timeUs = 0;   ///< wall-clock time per image.
+    double energyUj = 0; ///< energy per image.
+};
+
+/** Evaluate @p workload on @p params. */
+GpuCost evaluate(const GpuParams &params, const GpuWorkload &workload);
+
+/** Workload of the 2-layer MLP via two sgemv calls + activation. */
+GpuWorkload mlpWorkload(std::size_t inputs, std::size_t hidden,
+                        std::size_t outputs);
+
+/** Workload of SNNwot: conversion kernel + sgemv + max reduction. */
+GpuWorkload snnWotWorkload(std::size_t inputs, std::size_t neurons);
+
+/** Workload of SNNwt: per-step integration over the whole window. */
+GpuWorkload snnWtWorkload(std::size_t inputs, std::size_t neurons,
+                          int period_steps, int kernel_batch = 50);
+
+} // namespace gpu
+} // namespace neuro
+
+#endif // NEURO_GPU_GPU_MODEL_H

@@ -1,0 +1,99 @@
+#include "neuro/hw/pareto.h"
+
+#include <algorithm>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace hw {
+
+bool
+DesignPoint::dominates(const DesignPoint &other) const
+{
+    const bool no_worse = areaMm2 <= other.areaMm2 &&
+        energyUj <= other.energyUj && latencyNs <= other.latencyNs;
+    const bool strictly_better = areaMm2 < other.areaMm2 ||
+        energyUj < other.energyUj || latencyNs < other.latencyNs;
+    return no_worse && strictly_better;
+}
+
+namespace {
+
+DesignPoint
+pointFrom(const std::string &label, const Design &design)
+{
+    DesignPoint point;
+    point.label = label;
+    point.areaMm2 = design.totalAreaMm2();
+    point.energyUj = design.totalEnergyPerImageUj();
+    point.latencyNs = design.timePerImageNs();
+    return point;
+}
+
+} // namespace
+
+std::vector<DesignPoint>
+enumerateDesigns(const MlpTopology &mlp, const SnnTopology &snn,
+                 const EnumerateOptions &options, const TechParams &tech)
+{
+    std::vector<DesignPoint> points;
+    for (std::size_t ni : options.foldFactors) {
+        points.push_back(pointFrom("MLP folded ni=" + std::to_string(ni),
+                                   buildFoldedMlp(mlp, ni, tech)));
+        points.push_back(
+            pointFrom("SNNwot folded ni=" + std::to_string(ni),
+                      buildFoldedSnnWot(snn, ni, tech)));
+        if (options.includeSnnWt) {
+            points.push_back(
+                pointFrom("SNNwt folded ni=" + std::to_string(ni),
+                          buildFoldedSnnWt(snn, ni, 500, tech)));
+        }
+        for (std::size_t pool : options.mlpPools) {
+            points.push_back(pointFrom(
+                "MLP pooled ni=" + std::to_string(ni) + " hw=" +
+                    std::to_string(pool),
+                buildFoldedMlpPooled(mlp, ni, pool, tech)));
+        }
+    }
+    if (options.includeExpanded) {
+        points.push_back(
+            pointFrom("MLP expanded", buildExpandedMlp(mlp, tech)));
+        points.push_back(pointFrom("SNNwot expanded",
+                                   buildExpandedSnnWot(snn, tech)));
+        if (options.includeSnnWt) {
+            points.push_back(pointFrom(
+                "SNNwt expanded", buildExpandedSnnWt(snn, 500, tech)));
+        }
+    }
+    return points;
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<DesignPoint> &points)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size(); ++j) {
+            if (j == i)
+                continue;
+            if (points[j].dominates(points[i]) ||
+                (j < i && points[j].areaMm2 == points[i].areaMm2 &&
+                 points[j].energyUj == points[i].energyUj &&
+                 points[j].latencyNs == points[i].latencyNs)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    std::stable_sort(frontier.begin(), frontier.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return points[a].areaMm2 < points[b].areaMm2;
+                     });
+    return frontier;
+}
+
+} // namespace hw
+} // namespace neuro

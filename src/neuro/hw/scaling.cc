@@ -1,0 +1,70 @@
+#include "neuro/hw/scaling.h"
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace hw {
+
+std::vector<ScaleComparison>
+scalingStudy(const std::vector<ScalePoint> &scales,
+             const TechParams &tech)
+{
+    std::vector<ScaleComparison> results;
+    for (const ScalePoint &scale : scales) {
+        NEURO_ASSERT(scale.inputs > 0 && scale.mlpHidden > 0 &&
+                         scale.snnNeurons > 0,
+                     "degenerate scale point");
+        const MlpTopology mlp{scale.inputs, scale.mlpHidden,
+                              scale.mlpOutputs};
+        const SnnTopology snn{scale.inputs, scale.snnNeurons};
+
+        ScaleComparison cmp;
+        cmp.scale = scale;
+        const Design mlp_exp = buildExpandedMlp(mlp, tech);
+        const Design snn_exp = buildExpandedSnnWot(snn, tech);
+        cmp.mlpExpandedMm2 = mlp_exp.totalAreaMm2();
+        cmp.snnExpandedMm2 = snn_exp.totalAreaMm2();
+        cmp.mlpExpandedNsPerImage = mlp_exp.timePerImageNs();
+        cmp.snnExpandedNsPerImage = snn_exp.timePerImageNs();
+        cmp.mlpExpandedUj = mlp_exp.totalEnergyPerImageUj();
+        cmp.snnExpandedUj = snn_exp.totalEnergyPerImageUj();
+        cmp.mlpFoldedMm2 = buildFoldedMlp(mlp, 16, tech).totalAreaMm2();
+        cmp.snnFoldedMm2 =
+            buildFoldedSnnWot(snn, 16, tech).totalAreaMm2();
+        results.push_back(cmp);
+    }
+    return results;
+}
+
+std::vector<ScalePoint>
+defaultScaleLadder()
+{
+    // Grow from MNIST scale (784 inputs, 100/300 neurons) by doubling
+    // the input plane and layer widths; the SNN keeps its 3x neuron
+    // ratio. Output count grows with the task (more classes at scale).
+    std::vector<ScalePoint> ladder;
+    std::size_t inputs = 784;
+    std::size_t hidden = 100;
+    std::size_t outputs = 10;
+    for (int step = 0; step < 7; ++step) {
+        ladder.push_back({inputs, hidden, outputs, hidden * 3});
+        inputs *= 2;
+        hidden *= 2;
+        if (step % 2 == 1)
+            outputs *= 2;
+    }
+    return ladder;
+}
+
+int
+expandedCrossoverIndex(const std::vector<ScaleComparison> &results)
+{
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].snnWinsExpandedArea())
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace hw
+} // namespace neuro

@@ -1,0 +1,310 @@
+#include "neuro/hw/truenorth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace hw {
+
+Design
+buildTrueNorthCore(const TrueNorthConfig &config, const TechParams &tech)
+{
+    // TrueNorth is aggressively power-gated and runs at 1 MHz; at that
+    // clock, leakage at our default high-VT figure would dominate the
+    // energy, so the core is modeled with gated leakage.
+    TechParams gated = tech;
+    gated.leakagePowerWPerMm2 = 0.0008;
+    Design design("TrueNorth core (reimpl.)", gated);
+    const auto ticks = static_cast<uint64_t>(config.ticksPerImage);
+
+    // Crossbar connectivity memory: axons x neurons single bits, read
+    // one axon row per incoming spike; plus neuron parameter memory
+    // (4 signed weights, threshold, leak, state per neuron).
+    const uint64_t crossbar_bits =
+        static_cast<uint64_t>(config.axons) * config.neurons;
+    const uint64_t param_bits = static_cast<uint64_t>(config.neurons) *
+        (static_cast<uint64_t>(config.axonTypes) * config.weightBits +
+         40);
+    SramArray crossbar;
+    crossbar.name = "crossbar";
+    crossbar.numBanks = 1;
+    crossbar.bank.widthBits = static_cast<int>(config.neurons > 128
+                                                   ? 128
+                                                   : config.neurons);
+    crossbar.bank.depth = static_cast<std::size_t>(
+        crossbar_bits / static_cast<uint64_t>(crossbar.bank.widthBits));
+    // Dense 6T crossbar macro plus the wide read periphery.
+    crossbar.bank.areaUm2 = static_cast<double>(crossbar_bits) * 2.6;
+    crossbar.bank.readEnergyPj =
+        static_cast<double>(config.neurons) * 0.02;
+    crossbar.readsPerImage = static_cast<uint64_t>(config.axons) * 4;
+    design.addSram(std::move(crossbar));
+
+    SramArray params;
+    params.name = "neuron parameters";
+    params.numBanks = 1;
+    params.bank.widthBits = 128;
+    params.bank.depth =
+        static_cast<std::size_t>((param_bits + 127) / 128);
+    params.bank.areaUm2 = static_cast<double>(param_bits) * 4.0;
+    params.bank.readEnergyPj = 2.0;
+    params.readsPerImage = static_cast<uint64_t>(config.neurons) * ticks;
+    design.addSram(std::move(params));
+
+    // Sequential neuron datapath: one 9-bit adder + comparator pair,
+    // time-multiplexed over the 256 neurons each tick, plus the
+    // token-ring scheduler/router the core needs to talk to the mesh.
+    design.addOperators(makeAdderTree(tech, 2, config.weightBits),
+                        config.neurons,
+                        static_cast<uint64_t>(config.neurons) * ticks);
+    design.addOperators(makeMaxTree(tech, 2, 20), config.neurons,
+                        static_cast<uint64_t>(config.neurons) * ticks);
+    OperatorSpec router{"router + scheduler", 1.9e6, 6.0, 0.8};
+    design.addOperators(router, 1, ticks);
+    design.addRegisterBits(static_cast<double>(config.neurons) * 20.0);
+
+    design.setClockNs(config.tickNs);
+    design.setCyclesPerImage(ticks);
+    return design;
+}
+
+std::size_t
+trueNorthCoresFor(std::size_t neurons, const TrueNorthConfig &config)
+{
+    NEURO_ASSERT(neurons > 0, "need at least one neuron");
+    return (neurons + config.neurons - 1) / config.neurons;
+}
+
+Design
+buildTrueNorthSystem(std::size_t neurons, std::size_t inputs,
+                     const TrueNorthConfig &config,
+                     const TechParams &tech)
+{
+    NEURO_ASSERT(inputs <= config.axons,
+                 "input plane exceeds one core's axons (%zu > %zu); "
+                 "axon-wise tiling is not modeled",
+                 inputs, config.axons);
+    const std::size_t cores = trueNorthCoresFor(neurons, config);
+    const Design core = buildTrueNorthCore(config, tech);
+
+    TechParams gated = tech;
+    gated.leakagePowerWPerMm2 = 0.0008;
+    Design system("TrueNorth system (" + std::to_string(cores) +
+                      " cores)",
+                  gated);
+    // Replicate the core's contents; spikes are broadcast to every
+    // core over the mesh, so per-image activity replicates too.
+    for (const auto &group : core.groups()) {
+        system.addOperators(group.spec, group.count * cores,
+                            group.opsPerImage * cores);
+    }
+    for (auto sram : core.srams()) {
+        sram.numBanks *= cores;
+        sram.readsPerImage *= cores;
+        system.addSram(std::move(sram));
+    }
+    // Mesh merge network: per-core winner registers and a comparator
+    // tree across cores (degenerates to a wire for a single core).
+    if (cores > 1)
+        system.addOperators(makeMaxTree(tech, cores, 20), 1, 1);
+    system.addRegisterBits(static_cast<double>(cores) * 28.0);
+
+    system.setClockNs(core.clockNs());
+    // Cores run in parallel: same tick count per image.
+    system.setCyclesPerImage(core.cyclesPerImage());
+    return system;
+}
+
+TrueNorthFunctional::TrueNorthFunctional(const Matrix &weights,
+                                         const TrueNorthConfig &config)
+    : numNeurons_(weights.rows()), numInputs_(weights.cols()),
+      numTypes_(config.axonTypes), types_(numInputs_, 0),
+      typeWeights_(numNeurons_ * static_cast<std::size_t>(numTypes_), 0),
+      crossbar_(numNeurons_ * numInputs_, 0)
+{
+    NEURO_ASSERT(numNeurons_ > 0 && numInputs_ > 0, "empty weights");
+    NEURO_ASSERT(numNeurons_ <= config.neurons,
+                 "network does not fit in one core (%zu > %zu neurons)",
+                 numNeurons_, config.neurons);
+    NEURO_ASSERT(numInputs_ <= config.axons,
+                 "network does not fit in one core (%zu > %zu axons)",
+                 numInputs_, config.axons);
+
+    // 1. Column means drive the axon-type clustering.
+    std::vector<double> col_mean(numInputs_, 0.0);
+    for (std::size_t n = 0; n < numNeurons_; ++n) {
+        const float *row = weights.row(n);
+        for (std::size_t i = 0; i < numInputs_; ++i)
+            col_mean[i] += row[i];
+    }
+    for (auto &m : col_mean)
+        m /= static_cast<double>(numNeurons_);
+
+    // 1-D k-means with quantile-initialized centroids.
+    std::vector<double> sorted = col_mean;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> centroid(static_cast<std::size_t>(numTypes_));
+    for (int t = 0; t < numTypes_; ++t) {
+        const std::size_t idx = sorted.size() * (2 * t + 1) /
+            (2 * static_cast<std::size_t>(numTypes_));
+        centroid[static_cast<std::size_t>(t)] = sorted[idx];
+    }
+    for (int iter = 0; iter < 25; ++iter) {
+        // Assign.
+        for (std::size_t i = 0; i < numInputs_; ++i) {
+            int best = 0;
+            double best_d = std::fabs(col_mean[i] - centroid[0]);
+            for (int t = 1; t < numTypes_; ++t) {
+                const double d = std::fabs(
+                    col_mean[i] - centroid[static_cast<std::size_t>(t)]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = t;
+                }
+            }
+            types_[i] = best;
+        }
+        // Update.
+        std::vector<double> sum(static_cast<std::size_t>(numTypes_), 0.0);
+        std::vector<std::size_t> cnt(static_cast<std::size_t>(numTypes_),
+                                     0);
+        for (std::size_t i = 0; i < numInputs_; ++i) {
+            sum[static_cast<std::size_t>(types_[i])] += col_mean[i];
+            ++cnt[static_cast<std::size_t>(types_[i])];
+        }
+        for (int t = 0; t < numTypes_; ++t) {
+            const auto ts = static_cast<std::size_t>(t);
+            if (cnt[ts] > 0)
+                centroid[ts] = sum[ts] / static_cast<double>(cnt[ts]);
+        }
+    }
+
+    // 2./3./4. Alternating refinement of the TrueNorth parameters: the
+    // format allows (binary crossbar bit) x (per-neuron weight selected
+    // by the input's type), so we coordinate-descend on
+    //   sum_{n,i} | w_ni - c_ni * s_{n,type(i)} |
+    // over type weights s, crossbar bits c and the type map itself.
+    const int wmax = (1 << (config.weightBits - 1)) - 1;
+    const auto nt = static_cast<std::size_t>(numTypes_);
+    for (int round = 0; round < 4; ++round) {
+        // (a) Per-neuron type weights: mean of the *connected* inputs
+        // of each type (all inputs in the first round).
+        for (std::size_t n = 0; n < numNeurons_; ++n) {
+            const float *row = weights.row(n);
+            std::vector<double> sum(nt, 0.0);
+            std::vector<std::size_t> cnt(nt, 0);
+            for (std::size_t i = 0; i < numInputs_; ++i) {
+                if (round > 0 && !crossbar_[n * numInputs_ + i])
+                    continue;
+                sum[static_cast<std::size_t>(types_[i])] += row[i];
+                ++cnt[static_cast<std::size_t>(types_[i])];
+            }
+            for (std::size_t t = 0; t < nt; ++t) {
+                const double mean =
+                    cnt[t] ? sum[t] / static_cast<double>(cnt[t]) : 0.0;
+                const long q = std::lround(mean);
+                typeWeights_[n * nt + t] = static_cast<int16_t>(
+                    std::clamp(q, static_cast<long>(-wmax),
+                               static_cast<long>(wmax)));
+            }
+        }
+        // (b) Crossbar bits: connect when the type weight approximates
+        // the original weight better than dropping the synapse.
+        for (std::size_t n = 0; n < numNeurons_; ++n) {
+            const float *row = weights.row(n);
+            for (std::size_t i = 0; i < numInputs_; ++i) {
+                const double s = typeWeights_[
+                    n * nt + static_cast<std::size_t>(types_[i])];
+                crossbar_[n * numInputs_ + i] =
+                    std::fabs(row[i] - s) < std::fabs(row[i]) ? 1 : 0;
+            }
+        }
+        // (c) Type map: move each input to the type that minimizes its
+        // total error across neurons (crossbar re-derived next round).
+        for (std::size_t i = 0; i < numInputs_; ++i) {
+            int best_type = 0;
+            double best_err = 0.0;
+            for (int t = 0; t < numTypes_; ++t) {
+                double err = 0.0;
+                for (std::size_t n = 0; n < numNeurons_; ++n) {
+                    const double w = weights.row(n)[i];
+                    const double s = typeWeights_[
+                        n * nt + static_cast<std::size_t>(t)];
+                    err += std::min(std::fabs(w - s), std::fabs(w));
+                }
+                if (t == 0 || err < best_err) {
+                    best_err = err;
+                    best_type = t;
+                }
+            }
+            types_[i] = best_type;
+        }
+    }
+
+    // Final error accounting.
+    double abs_err = 0.0;
+    for (std::size_t n = 0; n < numNeurons_; ++n) {
+        const float *row = weights.row(n);
+        for (std::size_t i = 0; i < numInputs_; ++i) {
+            const double s = typeWeights_[
+                n * nt + static_cast<std::size_t>(types_[i])];
+            abs_err += crossbar_[n * numInputs_ + i]
+                ? std::fabs(row[i] - s)
+                : std::fabs(row[i]);
+        }
+    }
+    quantError_ =
+        abs_err / static_cast<double>(numNeurons_ * numInputs_);
+}
+
+int
+TrueNorthFunctional::typeWeight(std::size_t neuron, int type) const
+{
+    NEURO_ASSERT(neuron < numNeurons_ && type >= 0 && type < numTypes_,
+                 "index out of range");
+    return typeWeights_[neuron * static_cast<std::size_t>(numTypes_) +
+                        static_cast<std::size_t>(type)];
+}
+
+bool
+TrueNorthFunctional::connected(std::size_t neuron,
+                               std::size_t input) const
+{
+    NEURO_ASSERT(neuron < numNeurons_ && input < numInputs_,
+                 "index out of range");
+    return crossbar_[neuron * numInputs_ + input] != 0;
+}
+
+int
+TrueNorthFunctional::forward(const uint8_t *counts,
+                             std::vector<int64_t> *potentials) const
+{
+    if (potentials)
+        potentials->assign(numNeurons_, 0);
+    int best = 0;
+    int64_t best_pot = 0;
+    bool first = true;
+    for (std::size_t n = 0; n < numNeurons_; ++n) {
+        int64_t pot = 0;
+        for (std::size_t i = 0; i < numInputs_; ++i) {
+            if (!crossbar_[n * numInputs_ + i])
+                continue;
+            pot += static_cast<int64_t>(counts[i]) *
+                typeWeights_[n * static_cast<std::size_t>(numTypes_) +
+                             static_cast<std::size_t>(types_[i])];
+        }
+        if (potentials)
+            (*potentials)[n] = pot;
+        if (first || pot > best_pot) {
+            best_pot = pot;
+            best = static_cast<int>(n);
+            first = false;
+        }
+    }
+    return best;
+}
+
+} // namespace hw
+} // namespace neuro

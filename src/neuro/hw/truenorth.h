@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Best-effort TrueNorth core reimplementation (Section 5), mirroring the
+ * paper's own reconstruction from Merolla et al.: a digital spiking core
+ * with 1024 axon inputs, 256 neurons, a 1024x256 binary synaptic
+ * crossbar, per-axon types (4) selecting one of four signed 9-bit
+ * weights per neuron, running at 1 MHz (one tick per ms so peak spike
+ * rates stay below 1 kHz, consistent with biology).
+ *
+ * Two models are provided: the hardware cost model (area/speed/energy,
+ * compared against SNNwot folded ni=1 in the paper) and a functional
+ * model that quantizes trained SNN weights into the TrueNorth format
+ * (binary crossbar + 4 axon-type weights) to measure the accuracy cost
+ * of that constraint.
+ */
+
+#ifndef NEURO_HW_TRUENORTH_H
+#define NEURO_HW_TRUENORTH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "neuro/common/matrix.h"
+#include "neuro/hw/design.h"
+
+namespace neuro {
+namespace hw {
+
+/** TrueNorth core geometry. */
+struct TrueNorthConfig
+{
+    std::size_t axons = 1024;   ///< input lines.
+    std::size_t neurons = 256;  ///< output neurons.
+    int axonTypes = 4;          ///< weight classes per neuron.
+    int weightBits = 9;         ///< signed weight precision.
+    double tickNs = 1000.0;     ///< 1 MHz operation.
+    int ticksPerImage = 1024;   ///< presentation window in ticks.
+};
+
+/** Hardware cost model of one core (compared against 3.30 mm^2,
+ *  1024 us/image, 2.48 uJ in the paper's 65nm reimplementation). */
+Design buildTrueNorthCore(const TrueNorthConfig &config = {},
+                          const TechParams &tech = defaultTech());
+
+/**
+ * Multi-core TrueNorth system: networks that exceed one core's 1024
+ * axons x 256 neurons are tiled neuron-wise across cores (each core
+ * sees every input axon; output neurons are sharded), with the mesh
+ * merging the per-core winners. Models the TrueNorth chip's 4096-core
+ * scalability argument at small scale.
+ *
+ * @param neurons total output neurons to map.
+ * @param inputs  input axons (must fit one core's axon count).
+ */
+Design buildTrueNorthSystem(std::size_t neurons, std::size_t inputs,
+                            const TrueNorthConfig &config = {},
+                            const TechParams &tech = defaultTech());
+
+/** @return cores needed to map @p neurons outputs. */
+std::size_t trueNorthCoresFor(std::size_t neurons,
+                              const TrueNorthConfig &config = {});
+
+/**
+ * Functional TrueNorth-format quantization of a trained weight matrix
+ * (neurons x inputs, non-negative weights):
+ *  - every input (axon) is assigned one of 4 types by 1-D k-means over
+ *    the column means;
+ *  - every neuron stores one weight per type (mean of its weights over
+ *    that type's inputs, rounded to 9-bit);
+ *  - the crossbar bit c(n,i) is set when using the type weight is
+ *    closer to the original weight than dropping the synapse.
+ * Inference: potential(n) = sum_i c(n,i) * s(n, type(i)) * count(i).
+ */
+class TrueNorthFunctional
+{
+  public:
+    /** Quantize @p weights (rows = neurons). */
+    explicit TrueNorthFunctional(const Matrix &weights,
+                                 const TrueNorthConfig &config = {});
+
+    /** @return per-axon type assignments. */
+    const std::vector<int> &axonTypes() const { return types_; }
+
+    /** @return the type weight s(neuron, type). */
+    int typeWeight(std::size_t neuron, int type) const;
+
+    /** @return true if crossbar bit (neuron, input) is connected. */
+    bool connected(std::size_t neuron, std::size_t input) const;
+
+    /** Winner (max potential) for per-input spike counts. */
+    int forward(const uint8_t *counts,
+                std::vector<int64_t> *potentials = nullptr) const;
+
+    /** Mean absolute quantization error vs the original weights. */
+    double quantizationError() const { return quantError_; }
+
+  private:
+    std::size_t numNeurons_;
+    std::size_t numInputs_;
+    int numTypes_;
+    std::vector<int> types_;          ///< per-input axon type.
+    std::vector<int16_t> typeWeights_;///< neurons x types.
+    std::vector<uint8_t> crossbar_;   ///< neurons x inputs, 0/1.
+    double quantError_ = 0.0;
+};
+
+} // namespace hw
+} // namespace neuro
+
+#endif // NEURO_HW_TRUENORTH_H

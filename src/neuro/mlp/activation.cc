@@ -1,0 +1,106 @@
+#include "neuro/mlp/activation.h"
+
+#include <cmath>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace mlp {
+
+Activation::Activation(ActivationKind kind, float slope)
+    : kind_(kind), slope_(slope)
+{
+    NEURO_ASSERT(slope > 0.0f, "activation slope must be positive");
+}
+
+float
+Activation::apply(float x) const
+{
+    switch (kind_) {
+      case ActivationKind::Sigmoid:
+        return 1.0f / (1.0f + std::exp(-x));
+      case ActivationKind::ParamSigmoid:
+        return 1.0f / (1.0f + std::exp(-slope_ * x));
+      case ActivationKind::Step:
+        return x >= 0.0f ? 1.0f : 0.0f;
+    }
+    panic("unreachable activation kind");
+}
+
+float
+Activation::derivativeFromOutput(float y) const
+{
+    switch (kind_) {
+      case ActivationKind::Sigmoid:
+        return y * (1.0f - y);
+      case ActivationKind::ParamSigmoid:
+        // Steep sigmoids saturate immediately (y(1-y) -> 0), which
+        // kills the gradient before anything is learned; a small floor
+        // keeps BP converging all the way to the step-function limit
+        // (Figure 6's experiment relies on large-a training working).
+        return slope_ * std::max(y * (1.0f - y), 0.02f);
+      case ActivationKind::Step:
+        // The step function has a zero gradient almost everywhere, so BP
+        // uses a sigmoid surrogate evaluated at the (binary) output; this
+        // matches the paper's observation that a high-slope sigmoid
+        // converges to the step function's error rate.
+        return slope_ * std::max(y * (1.0f - y), 0.25f * 0.25f);
+    }
+    panic("unreachable activation kind");
+}
+
+PiecewiseSigmoid::PiecewiseSigmoid(float a)
+    : slope_(a)
+{
+    NEURO_ASSERT(a > 0.0f, "sigmoid slope must be positive");
+    // Equal-width segments over [-kRange, kRange]; each segment stores the
+    // secant-line coefficients between its endpoints, i.e. the pair
+    // (a_i, b_i) the hardware looks up and evaluates as a_i*x + b_i.
+    const float width = 2.0f * kRange / static_cast<float>(kSegments);
+    for (std::size_t i = 0; i < kSegments; ++i) {
+        const float x0 = -kRange + static_cast<float>(i) * width;
+        const float x1 = x0 + width;
+        const float y0 = exact(x0);
+        const float y1 = exact(x1);
+        a_[i] = (y1 - y0) / width;
+        b_[i] = y0 - a_[i] * x0;
+    }
+}
+
+float
+PiecewiseSigmoid::apply(float x) const
+{
+    if (x <= -kRange)
+        return 0.0f;
+    if (x >= kRange)
+        return 1.0f;
+    const float width = 2.0f * kRange / static_cast<float>(kSegments);
+    auto idx = static_cast<std::size_t>((x + kRange) / width);
+    if (idx >= kSegments)
+        idx = kSegments - 1;
+    return a_[idx] * x + b_[idx];
+}
+
+float
+PiecewiseSigmoid::exact(float x) const
+{
+    return 1.0f / (1.0f + std::exp(-slope_ * x));
+}
+
+float
+PiecewiseSigmoid::maxError(std::size_t samples) const
+{
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const float x = -kRange +
+            2.0f * kRange * static_cast<float>(i) /
+                static_cast<float>(samples - 1);
+        const float err = std::fabs(apply(x) - exact(x));
+        if (err > worst)
+            worst = err;
+    }
+    return worst;
+}
+
+} // namespace mlp
+} // namespace neuro

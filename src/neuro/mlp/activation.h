@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Activation functions for the MLP: the standard sigmoid, the
+ * slope-parameterized sigmoid f_a(x) = 1/(1+exp(-a*x)) used in the
+ * paper's Section 3.2 to morph the sigmoid into a step function, the
+ * [0/1] step function itself (with a surrogate gradient so BP remains
+ * defined), and the 16-segment piecewise-linear sigmoid approximation the
+ * hardware implements (Section 4.2.1: f(x) = a_i*x + b_i per segment).
+ */
+
+#ifndef NEURO_MLP_ACTIVATION_H
+#define NEURO_MLP_ACTIVATION_H
+
+#include <array>
+#include <cstddef>
+
+namespace neuro {
+namespace mlp {
+
+/** Which activation a layer uses. */
+enum class ActivationKind
+{
+    Sigmoid,      ///< f(x) = 1/(1+e^-x).
+    ParamSigmoid, ///< f_a(x) = 1/(1+e^-ax).
+    Step,         ///< f(x) = x >= 0 (surrogate gradient for BP).
+};
+
+/** An activation function with its derivative, as used by BP. */
+class Activation
+{
+  public:
+    /** Construct; @p slope is the 'a' parameter (ParamSigmoid) or the
+     *  surrogate-gradient slope (Step). */
+    explicit Activation(ActivationKind kind = ActivationKind::Sigmoid,
+                        float slope = 1.0f);
+
+    /** @return f(x). */
+    float apply(float x) const;
+
+    /**
+     * @return f'(x) expressed in terms of the *output* y = f(x), which is
+     * how BP evaluates it (sigmoid: a*y*(1-y); step: surrogate).
+     */
+    float derivativeFromOutput(float y) const;
+
+    /** @return the activation kind. */
+    ActivationKind kind() const { return kind_; }
+
+    /** @return the slope parameter. */
+    float slope() const { return slope_; }
+
+  private:
+    ActivationKind kind_;
+    float slope_;
+};
+
+/**
+ * The hardware sigmoid: 16-point piecewise-linear interpolation over a
+ * fixed input range, storing two coefficients (a_i, b_i) per segment in a
+ * small table, exactly as the accelerator's SRAM-backed unit does.
+ */
+class PiecewiseSigmoid
+{
+  public:
+    /** Number of linear segments. */
+    static constexpr std::size_t kSegments = 16;
+    /** Approximation domain; saturates to 0/1 outside [-kRange, kRange]. */
+    static constexpr float kRange = 8.0f;
+
+    /** Build the coefficient table for slope parameter @p a. */
+    explicit PiecewiseSigmoid(float a = 1.0f);
+
+    /** @return the interpolated sigmoid value at @p x. */
+    float apply(float x) const;
+
+    /** @return the exact sigmoid this table approximates. */
+    float exact(float x) const;
+
+    /** @return the worst-case |apply - exact| sampled over the domain. */
+    float maxError(std::size_t samples = 4096) const;
+
+    /** @return segment coefficient a_i. */
+    float coeffA(std::size_t i) const { return a_[i]; }
+    /** @return segment coefficient b_i. */
+    float coeffB(std::size_t i) const { return b_[i]; }
+
+  private:
+    float slope_;
+    std::array<float, kSegments> a_;
+    std::array<float, kSegments> b_;
+};
+
+} // namespace mlp
+} // namespace neuro
+
+#endif // NEURO_MLP_ACTIVATION_H

@@ -1,0 +1,125 @@
+#include "neuro/mlp/backprop.h"
+
+#include <vector>
+
+#include "neuro/common/logging.h"
+#include "neuro/common/rng.h"
+
+namespace neuro {
+namespace mlp {
+
+void
+train(Mlp &net, const datasets::Dataset &data, const TrainConfig &config,
+      const EpochCallback &callback)
+{
+    NEURO_ASSERT(!data.empty(), "cannot train on an empty dataset");
+    NEURO_ASSERT(data.inputSize() == net.inputSize(),
+                 "dataset input size %zu != network input size %zu",
+                 data.inputSize(), net.inputSize());
+    NEURO_ASSERT(static_cast<std::size_t>(data.numClasses()) ==
+                     net.outputSize(),
+                 "dataset classes %d != network outputs %zu",
+                 data.numClasses(), net.outputSize());
+
+    Rng rng(config.seed);
+    const std::size_t n = data.size();
+    std::vector<uint32_t> order(n);
+    rng.shuffle(order.data(), n);
+
+    std::vector<float> input(net.inputSize());
+    std::vector<std::vector<float>> activations;
+    // deltas[l] holds the error gradients of neuron layer l.
+    std::vector<std::vector<float>> deltas(net.numLayers());
+    const Activation &act = net.activation();
+
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        if (config.shuffle)
+            rng.shuffle(order.data(), n);
+        double sq_error = 0.0;
+
+        for (std::size_t step = 0; step < n; ++step) {
+            const std::size_t idx = order[step];
+            data.normalized(idx, input.data());
+            net.forwardTrace(input.data(), activations);
+
+            // Output layer: delta = f'(s) * (target - output).
+            const std::size_t last = net.numLayers() - 1;
+            const std::vector<float> &out = activations[last + 1];
+            deltas[last].assign(out.size(), 0.0f);
+            const int label = data[idx].label;
+            for (std::size_t j = 0; j < out.size(); ++j) {
+                const float target =
+                    j == static_cast<std::size_t>(label) ? 1.0f : 0.0f;
+                const float e = target - out[j];
+                sq_error += static_cast<double>(e) * e;
+                deltas[last][j] = act.derivativeFromOutput(out[j]) * e;
+            }
+
+            // Hidden layers: delta_j = f'(s_j) * sum_k delta_k * w_kj.
+            for (std::size_t l = last; l-- > 0;) {
+                const Matrix &w_next = net.weights(l + 1);
+                const std::vector<float> &y = activations[l + 1];
+                deltas[l].assign(y.size(), 0.0f);
+                for (std::size_t j = 0; j < y.size(); ++j) {
+                    float acc = 0.0f;
+                    for (std::size_t k = 0; k < w_next.rows(); ++k)
+                        acc += deltas[l + 1][k] * w_next(k, j);
+                    deltas[l][j] =
+                        act.derivativeFromOutput(y[j]) * acc;
+                }
+            }
+
+            // Weight updates: w_ji += eta * delta_j * y_i (bias sees 1).
+            for (std::size_t l = 0; l < net.numLayers(); ++l) {
+                Matrix &w = net.weights(l);
+                const std::vector<float> &y = activations[l];
+                for (std::size_t j = 0; j < w.rows(); ++j) {
+                    float *row = w.row(j);
+                    const float scale =
+                        config.learningRate * deltas[l][j];
+                    if (scale == 0.0f)
+                        continue;
+                    for (std::size_t i = 0; i + 1 < w.cols(); ++i)
+                        row[i] += scale * y[i];
+                    row[w.cols() - 1] += scale;
+                }
+            }
+        }
+
+        if (callback) {
+            EpochReport report;
+            report.epoch = epoch;
+            report.trainError =
+                sq_error / static_cast<double>(n * net.outputSize());
+            callback(report);
+        }
+    }
+}
+
+double
+evaluate(const Mlp &net, const datasets::Dataset &data)
+{
+    NEURO_ASSERT(!data.empty(), "cannot evaluate on an empty dataset");
+    std::vector<float> input(net.inputSize());
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data.normalized(i, input.data());
+        if (net.predict(input.data()) == data[i].label)
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double
+trainAndEvaluate(const MlpConfig &mlp_config, const TrainConfig &train_config,
+                 const datasets::Dataset &train_set,
+                 const datasets::Dataset &test_set, uint64_t init_seed)
+{
+    Rng rng(init_seed);
+    Mlp net(mlp_config, rng);
+    train(net, train_set, train_config);
+    return evaluate(net, test_set);
+}
+
+} // namespace mlp
+} // namespace neuro

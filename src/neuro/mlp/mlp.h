@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The Multi-Layer Perceptron of the paper's machine-learning side:
+ * fully-connected layers with bias, sigmoid activations, trained with
+ * back-propagation (see backprop.h). The MNIST configuration is
+ * 28x28-100-10 (Table 1); the iso-accuracy comparison uses 28x28-15-10.
+ */
+
+#ifndef NEURO_MLP_MLP_H
+#define NEURO_MLP_MLP_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "neuro/common/matrix.h"
+#include "neuro/mlp/activation.h"
+
+namespace neuro {
+
+class Archive;
+class Rng;
+
+namespace mlp {
+
+/** Topology plus activation choice. */
+struct MlpConfig
+{
+    /** Layer sizes including the input layer, e.g. {784, 100, 10}. */
+    std::vector<std::size_t> layerSizes{784, 100, 10};
+    /** Activation used by every neuron layer. */
+    ActivationKind activation = ActivationKind::Sigmoid;
+    /** Slope parameter for ParamSigmoid / surrogate slope for Step. */
+    float slope = 1.0f;
+};
+
+/**
+ * A feed-forward MLP. Weight matrix l has shape
+ * (layerSizes[l+1] x (layerSizes[l] + 1)); the extra column is the bias
+ * weight fed by a constant 1 input (the paper's v_{j,0}/w_{0,j} input).
+ */
+class Mlp
+{
+  public:
+    /** Construct with small random weights. */
+    Mlp(const MlpConfig &config, Rng &rng);
+
+    /** @return the configuration. */
+    const MlpConfig &config() const { return config_; }
+
+    /** @return number of neuron layers (layers with weights). */
+    std::size_t numLayers() const { return weights_.size(); }
+
+    /** @return number of inputs. */
+    std::size_t inputSize() const { return config_.layerSizes.front(); }
+
+    /** @return number of outputs. */
+    std::size_t outputSize() const { return config_.layerSizes.back(); }
+
+    /** @return total synaptic weight count (including biases). */
+    std::size_t weightCount() const;
+
+    /**
+     * Run the feed-forward path.
+     * @param input  inputSize() floats in [0,1].
+     * @param output outputSize() floats (written).
+     */
+    void forward(const float *input, float *output) const;
+
+    /**
+     * Feed-forward keeping every layer's activations, for BP.
+     * activations[0] is the input copy; activations[l+1] the output of
+     * neuron layer l. Buffers are resized as needed.
+     */
+    void forwardTrace(const float *input,
+                      std::vector<std::vector<float>> &activations) const;
+
+    /** @return argmax class of the output for @p input. */
+    int predict(const float *input) const;
+
+    /** @return mutable weight matrix of layer @p l. */
+    Matrix &weights(std::size_t l) { return weights_[l]; }
+    /** @return weight matrix of layer @p l. */
+    const Matrix &weights(std::size_t l) const { return weights_[l]; }
+
+    /** @return the activation object. */
+    const Activation &activation() const { return activation_; }
+
+    /** Store topology, activation and weights into @p archive under
+     *  @p prefix (records "<prefix>.layers", ".weights<l>", ...). */
+    void serialize(Archive &archive,
+                   const std::string &prefix = "mlp") const;
+
+    /** Rebuild a network from @p archive; empty optional if the
+     *  records are missing or inconsistent. */
+    static std::optional<Mlp>
+    deserialize(const Archive &archive,
+                const std::string &prefix = "mlp");
+
+  private:
+    Mlp() : activation_(ActivationKind::Sigmoid) {}
+
+    MlpConfig config_;
+    Activation activation_;
+    std::vector<Matrix> weights_;
+};
+
+} // namespace mlp
+} // namespace neuro
+
+#endif // NEURO_MLP_MLP_H

@@ -1,0 +1,142 @@
+#include "neuro/mlp/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace mlp {
+
+QuantizedMlp::QuantizedMlp(const Mlp &net, int weight_bits)
+    : weightBits_(weight_bits), inputSize_(net.inputSize()),
+      outputSize_(net.outputSize()),
+      sigmoid_(net.activation().kind() == ActivationKind::Sigmoid
+                   ? 1.0f
+                   : net.activation().slope())
+{
+    NEURO_ASSERT(net.activation().kind() != ActivationKind::Step,
+                 "quantized path expects a sigmoid-family activation");
+    NEURO_ASSERT(weight_bits >= 2 && weight_bits <= 8,
+                 "weight precision must be 2..8 bits");
+    const long wmax = (1L << (weight_bits - 1)) - 1;
+    const long wmin = -(1L << (weight_bits - 1));
+
+    for (std::size_t l = 0; l < net.numLayers(); ++l) {
+        const Matrix &w = net.weights(l);
+        Layer layer;
+        layer.fanOut = w.rows();
+        layer.fanIn = w.cols() - 1;
+
+        // Pick the largest fractional-bit count such that every weight
+        // fits in the signed width: scale 2^frac maps |w|max below 2^(b-1).
+        float max_abs = 0.0f;
+        for (float v : w.data())
+            max_abs = std::max(max_abs, std::fabs(v));
+        int frac = weight_bits - 1;
+        while (frac > 0 &&
+               max_abs * static_cast<float>(1 << frac) >
+                   static_cast<float>(wmax)) {
+            --frac;
+        }
+        layer.fracBits = frac;
+
+        layer.weights.resize(w.size());
+        const float scale = static_cast<float>(1 << frac);
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            const long q = std::lround(w.data()[i] * scale);
+            layer.weights[i] =
+                static_cast<int8_t>(std::clamp(q, wmin, wmax));
+        }
+        layers_.push_back(std::move(layer));
+    }
+}
+
+void
+QuantizedMlp::forward(const uint8_t *pixels, uint8_t *output) const
+{
+    // Activations travel as 8-bit unsigned codes for [0,1].
+    std::vector<uint8_t> cur(pixels, pixels + inputSize_);
+    std::vector<uint8_t> next;
+
+    for (const Layer &layer : layers_) {
+        next.assign(layer.fanOut, 0);
+        const float inv_scale =
+            1.0f / (static_cast<float>(1 << layer.fracBits) * 255.0f);
+        for (std::size_t j = 0; j < layer.fanOut; ++j) {
+            const int8_t *row = layer.weights.data() +
+                j * (layer.fanIn + 1);
+            // 32-bit MAC over int8 weights and uint8 activations, plus
+            // the bias weight fed by the constant-1 input (code 255).
+            int32_t acc = static_cast<int32_t>(row[layer.fanIn]) * 255;
+            for (std::size_t i = 0; i < layer.fanIn; ++i)
+                acc += static_cast<int32_t>(row[i]) * cur[i];
+            // Dequantize the pre-activation and apply the hardware
+            // piecewise-linear sigmoid, then requantize to 8 bits.
+            const float s = static_cast<float>(acc) * inv_scale;
+            const float y = sigmoid_.apply(s);
+            next[j] = static_cast<uint8_t>(
+                std::clamp(std::lround(y * 255.0f), 0L, 255L));
+        }
+        cur.swap(next);
+    }
+    std::copy(cur.begin(), cur.end(), output);
+}
+
+int
+QuantizedMlp::predict(const uint8_t *pixels) const
+{
+    std::vector<uint8_t> out(outputSize_);
+    forward(pixels, out.data());
+    return static_cast<int>(
+        std::max_element(out.begin(), out.end()) - out.begin());
+}
+
+std::size_t
+QuantizedMlp::totalWeights() const
+{
+    std::size_t total = 0;
+    for (const Layer &layer : layers_)
+        total += layer.weights.size();
+    return total;
+}
+
+int8_t
+QuantizedMlp::weightAt(std::size_t idx) const
+{
+    for (const Layer &layer : layers_) {
+        if (idx < layer.weights.size())
+            return layer.weights[idx];
+        idx -= layer.weights.size();
+    }
+    panic("weight index out of range");
+}
+
+void
+QuantizedMlp::setWeightAt(std::size_t idx, int8_t value)
+{
+    for (Layer &layer : layers_) {
+        if (idx < layer.weights.size()) {
+            layer.weights[idx] = value;
+            return;
+        }
+        idx -= layer.weights.size();
+    }
+    panic("weight index out of range");
+}
+
+double
+QuantizedMlp::evaluate(const datasets::Dataset &data) const
+{
+    NEURO_ASSERT(data.inputSize() == inputSize_,
+                 "dataset input size mismatch");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (predict(data[i].pixels.data()) == data[i].label)
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+} // namespace mlp
+} // namespace neuro

@@ -1,0 +1,204 @@
+#include "neuro/snn/coding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "neuro/common/logging.h"
+#include "neuro/common/rng.h"
+
+namespace neuro {
+namespace snn {
+
+std::string
+codingSchemeName(CodingScheme scheme)
+{
+    switch (scheme) {
+      case CodingScheme::RatePoisson:
+        return "rate-poisson";
+      case CodingScheme::RateGaussian:
+        return "rate-gaussian";
+      case CodingScheme::RateRegular:
+        return "rate-regular";
+      case CodingScheme::RateBernoulli:
+        return "rate-bernoulli";
+      case CodingScheme::TimeToFirstSpike:
+        return "time-to-first-spike";
+      case CodingScheme::RankOrder:
+        return "rank-order";
+    }
+    panic("unreachable coding scheme");
+}
+
+std::size_t
+SpikeTrainGrid::totalSpikes() const
+{
+    std::size_t total = 0;
+    for (const auto &tick : ticks)
+        total += tick.size();
+    return total;
+}
+
+std::vector<uint8_t>
+SpikeTrainGrid::pixelCounts(std::size_t num_pixels) const
+{
+    std::vector<uint8_t> counts(num_pixels, 0);
+    for (const auto &tick : ticks) {
+        for (uint16_t pixel : tick) {
+            NEURO_ASSERT(pixel < num_pixels, "spike pixel out of range");
+            if (counts[pixel] < 255)
+                ++counts[pixel];
+        }
+    }
+    return counts;
+}
+
+SpikeEncoder::SpikeEncoder(const CodingConfig &config)
+    : config_(config)
+{
+    NEURO_ASSERT(config_.periodMs > 0, "presentation period must be > 0");
+    NEURO_ASSERT(config_.minIntervalMs > 0, "min interval must be > 0");
+}
+
+SpikeTrainGrid
+SpikeEncoder::encode(const uint8_t *pixels, std::size_t num_pixels,
+                     Rng &rng) const
+{
+    SpikeTrainGrid grid;
+    grid.ticks.resize(static_cast<std::size_t>(config_.periodMs));
+    switch (config_.scheme) {
+      case CodingScheme::RatePoisson:
+      case CodingScheme::RateGaussian:
+      case CodingScheme::RateRegular:
+      case CodingScheme::RateBernoulli:
+        encodeRate(pixels, num_pixels, rng, grid);
+        break;
+      case CodingScheme::TimeToFirstSpike:
+      case CodingScheme::RankOrder:
+        encodeTemporal(pixels, num_pixels, grid);
+        break;
+    }
+    return grid;
+}
+
+uint8_t
+SpikeEncoder::spikeCount(uint8_t pixel) const
+{
+    // Expected spikes in the window at the pixel's rate: the hardware
+    // emits this directly as a 4-bit value instead of a unary train.
+    const double max_spikes = static_cast<double>(config_.periodMs) /
+        static_cast<double>(config_.minIntervalMs);
+    const double n =
+        max_spikes * static_cast<double>(pixel) / 255.0;
+    return static_cast<uint8_t>(std::lround(n));
+}
+
+uint8_t
+SpikeEncoder::maxSpikeCount() const
+{
+    return spikeCount(255);
+}
+
+void
+SpikeEncoder::encodeRate(const uint8_t *pixels, std::size_t n, Rng &rng,
+                         SpikeTrainGrid &grid) const
+{
+    const double period = static_cast<double>(config_.periodMs);
+    const double min_interval = static_cast<double>(config_.minIntervalMs);
+    for (std::size_t p = 0; p < n; ++p) {
+        if (pixels[p] == 0)
+            continue; // zero luminance, zero rate.
+        // Rate proportional to luminance: mean inter-spike interval.
+        const double mean =
+            min_interval * 255.0 / static_cast<double>(pixels[p]);
+        switch (config_.scheme) {
+          case CodingScheme::RatePoisson: {
+            double t = rng.exponential(mean);
+            while (t < period) {
+                grid.ticks[static_cast<std::size_t>(t)].push_back(
+                    static_cast<uint16_t>(p));
+                t += rng.exponential(mean);
+            }
+            break;
+          }
+          case CodingScheme::RateGaussian: {
+            // Gaussian inter-arrival: the SNNwt hardware's CLT
+            // generator (sigma configurable, truncated at 1 ms).
+            const double sigma = config_.gaussianSigmaFactor * mean;
+            double t = std::max(1.0, rng.gaussian(mean, sigma));
+            while (t < period) {
+                grid.ticks[static_cast<std::size_t>(t)].push_back(
+                    static_cast<uint16_t>(p));
+                t += std::max(1.0, rng.gaussian(mean, sigma));
+            }
+            break;
+          }
+          case CodingScheme::RateRegular: {
+            // Deterministic spacing with a random initial phase so pixel
+            // trains are not all aligned.
+            double t = rng.uniform(0.0, mean);
+            while (t < period) {
+                grid.ticks[static_cast<std::size_t>(t)].push_back(
+                    static_cast<uint16_t>(p));
+                t += mean;
+            }
+            break;
+          }
+          case CodingScheme::RateBernoulli: {
+            const double prob = 1.0 / mean;
+            for (int t = 0; t < config_.periodMs; ++t) {
+                if (rng.uniform() < prob) {
+                    grid.ticks[static_cast<std::size_t>(t)].push_back(
+                        static_cast<uint16_t>(p));
+                }
+            }
+            break;
+          }
+          default:
+            panic("encodeRate called with a temporal scheme");
+        }
+    }
+}
+
+void
+SpikeEncoder::encodeTemporal(const uint8_t *pixels, std::size_t n,
+                             SpikeTrainGrid &grid) const
+{
+    const std::size_t period = static_cast<std::size_t>(config_.periodMs);
+    if (config_.scheme == CodingScheme::TimeToFirstSpike) {
+        // One spike per pixel; brighter pixels fire earlier:
+        // t = Tperiod * (1 - p/255). Zero-luminance pixels never fire.
+        for (std::size_t p = 0; p < n; ++p) {
+            if (pixels[p] == 0)
+                continue;
+            auto t = static_cast<std::size_t>(
+                std::lround(static_cast<double>(period - 1) *
+                            (1.0 - static_cast<double>(pixels[p]) / 255.0)));
+            grid.ticks[t].push_back(static_cast<uint16_t>(p));
+        }
+        return;
+    }
+
+    // Rank-order coding: pixels spike one rank at a time in decreasing
+    // luminance order, equally spaced across the window (ties broken by
+    // pixel index, matching a hardware priority encoder).
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return pixels[a] > pixels[b];
+                     });
+    std::size_t active = 0;
+    for (std::size_t p = 0; p < n; ++p)
+        if (pixels[p] > 0)
+            ++active;
+    if (active == 0)
+        return;
+    for (std::size_t rank = 0; rank < active; ++rank) {
+        const std::size_t t = rank * period / active;
+        grid.ticks[t].push_back(static_cast<uint16_t>(order[rank]));
+    }
+}
+
+} // namespace snn
+} // namespace neuro

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Spike coding schemes (Sections 3.1 and 5). Pixels are converted into
+ * spike trains over one image-presentation window (Tperiod, 1 ms
+ * resolution, "one clock cycle models one millisecond" in hardware).
+ *
+ * Rate codes (four variants, rate proportional to luminance; maximum
+ * luminance 255 maps to the minimum mean inter-spike interval U = 50 ms,
+ * i.e. 10 spikes in a 500 ms window):
+ *  - RatePoisson:   exponential inter-arrival times (the reference code);
+ *  - RateGaussian:  Gaussian inter-arrival times (the hardware-friendly
+ *                   CLT generator the SNNwt accelerator uses);
+ *  - RateRegular:   deterministic, evenly spaced spikes;
+ *  - RateBernoulli: per-tick firing probability.
+ *
+ * Temporal codes (two variants):
+ *  - TimeToFirstSpike: one spike per pixel at a latency decreasing with
+ *    luminance;
+ *  - RankOrder: one spike per pixel, ordered by luminance rank.
+ */
+
+#ifndef NEURO_SNN_CODING_H
+#define NEURO_SNN_CODING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neuro {
+
+class Rng;
+
+namespace snn {
+
+/** Available input coding schemes. */
+enum class CodingScheme
+{
+    RatePoisson,
+    RateGaussian,
+    RateRegular,
+    RateBernoulli,
+    TimeToFirstSpike,
+    RankOrder,
+};
+
+/** @return a printable name for @p scheme. */
+std::string codingSchemeName(CodingScheme scheme);
+
+/**
+ * One image's worth of input spikes, bucketed per 1 ms tick: ticks[t]
+ * lists the input (pixel) indices that spike at time t.
+ */
+struct SpikeTrainGrid
+{
+    std::vector<std::vector<uint16_t>> ticks; ///< per-tick pixel lists.
+
+    /** @return total number of spikes across the window. */
+    std::size_t totalSpikes() const;
+
+    /** @return per-pixel spike counts (size = number of pixels). */
+    std::vector<uint8_t> pixelCounts(std::size_t num_pixels) const;
+};
+
+/** Encoder configuration (paper values of Table 1). */
+struct CodingConfig
+{
+    CodingScheme scheme = CodingScheme::RatePoisson;
+    int periodMs = 500;      ///< Tperiod, image presentation window.
+    int minIntervalMs = 50;  ///< U, mean interval at max luminance.
+    /** RateGaussian: inter-arrival stddev as a fraction of the mean
+     *  (the CLT generator's spread; 0 degenerates to regular firing). */
+    double gaussianSigmaFactor = 0.5;
+};
+
+/** Converts 8-bit pixels into spike trains. */
+class SpikeEncoder
+{
+  public:
+    explicit SpikeEncoder(const CodingConfig &config);
+
+    /** @return the configuration. */
+    const CodingConfig &config() const { return config_; }
+
+    /** Encode one image of @p num_pixels luminance values. */
+    SpikeTrainGrid encode(const uint8_t *pixels, std::size_t num_pixels,
+                          Rng &rng) const;
+
+    /**
+     * The SNNwot deterministic conversion (Section 4.2.2): the number of
+     * spikes a pixel would emit, as the 4-bit value the hardware
+     * generates directly (0..periodMs/minIntervalMs).
+     */
+    uint8_t spikeCount(uint8_t pixel) const;
+
+    /** @return the maximum spikeCount() value (10 with paper settings). */
+    uint8_t maxSpikeCount() const;
+
+  private:
+    void encodeRate(const uint8_t *pixels, std::size_t n, Rng &rng,
+                    SpikeTrainGrid &grid) const;
+    void encodeTemporal(const uint8_t *pixels, std::size_t n,
+                        SpikeTrainGrid &grid) const;
+
+    CodingConfig config_;
+};
+
+} // namespace snn
+} // namespace neuro
+
+#endif // NEURO_SNN_CODING_H

@@ -1,0 +1,56 @@
+#include "neuro/snn/homeostasis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "neuro/common/logging.h"
+#include "neuro/snn/lif.h"
+
+namespace neuro {
+namespace snn {
+
+Homeostasis::Homeostasis(const HomeostasisConfig &config)
+    : config_(config)
+{
+    NEURO_ASSERT(config_.epochMs > 0, "epoch must be positive");
+    NEURO_ASSERT(config_.rate >= 0.0, "negative homeostasis rate");
+}
+
+int
+Homeostasis::advance(int64_t dt_ms, LifNeuron *neurons, std::size_t count)
+{
+    if (!config_.enabled)
+        return 0;
+    NEURO_ASSERT(dt_ms >= 0, "time cannot run backwards");
+    int boundaries = 0;
+    elapsedInEpoch_ += dt_ms;
+    while (elapsedInEpoch_ >= config_.epochMs) {
+        elapsedInEpoch_ -= config_.epochMs;
+        applyEpoch(neurons, count);
+        ++boundaries;
+        ++epochs_;
+    }
+    return boundaries;
+}
+
+void
+Homeostasis::applyEpoch(LifNeuron *neurons, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        LifNeuron &n = neurons[i];
+        const double activity = static_cast<double>(n.fireCount);
+        const double diff = activity - config_.activityTarget;
+        // sign(activity - target) * threshold * r; no change at exactly
+        // the target.
+        if (diff > 0)
+            n.threshold += n.threshold * config_.rate;
+        else if (diff < 0)
+            n.threshold -= n.threshold * config_.rate *
+                           config_.downFactor;
+        n.threshold = std::max(n.threshold, config_.minThreshold);
+        n.fireCount = 0;
+    }
+}
+
+} // namespace snn
+} // namespace neuro

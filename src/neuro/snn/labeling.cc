@@ -1,0 +1,60 @@
+#include "neuro/snn/labeling.h"
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace snn {
+
+SelfLabeling::SelfLabeling(std::size_t num_neurons, int num_classes)
+    : numNeurons_(num_neurons), numClasses_(num_classes),
+      counters_(num_neurons * static_cast<std::size_t>(num_classes), 0)
+{
+    NEURO_ASSERT(num_neurons > 0 && num_classes > 0, "empty labeling");
+}
+
+void
+SelfLabeling::record(std::size_t neuron, int label)
+{
+    NEURO_ASSERT(neuron < numNeurons_, "neuron index out of range");
+    NEURO_ASSERT(label >= 0 && label < numClasses_, "label out of range");
+    ++counters_[neuron * static_cast<std::size_t>(numClasses_) +
+                static_cast<std::size_t>(label)];
+}
+
+std::vector<int>
+SelfLabeling::finalize(const std::vector<std::size_t> &label_counts) const
+{
+    NEURO_ASSERT(label_counts.size() ==
+                     static_cast<std::size_t>(numClasses_),
+                 "label_counts size mismatch");
+    std::vector<int> labels(numNeurons_, -1);
+    for (std::size_t n = 0; n < numNeurons_; ++n) {
+        double best_score = 0.0;
+        for (int l = 0; l < numClasses_; ++l) {
+            const uint32_t c = counter(n, l);
+            if (c == 0 || label_counts[static_cast<std::size_t>(l)] == 0)
+                continue;
+            const double score = static_cast<double>(c) /
+                static_cast<double>(
+                    label_counts[static_cast<std::size_t>(l)]);
+            if (score > best_score) {
+                best_score = score;
+                labels[n] = l;
+            }
+        }
+    }
+    return labels;
+}
+
+uint32_t
+SelfLabeling::counter(std::size_t neuron, int label) const
+{
+    NEURO_ASSERT(neuron < numNeurons_ && label >= 0 &&
+                     label < numClasses_,
+                 "counter index out of range");
+    return counters_[neuron * static_cast<std::size_t>(numClasses_) +
+                     static_cast<std::size_t>(label)];
+}
+
+} // namespace snn
+} // namespace neuro

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Self-labeling of the unsupervised SNN (Section 2.2): STDP learns
+ * without labels, so after training a labeling pass presents the training
+ * images once more and, each time a neuron wins for an image of label L,
+ * increments that neuron's counter for L. Each neuron is then tagged with
+ * the label of its highest *normalized* score (counter divided by the
+ * number of training images carrying that label, to correct for class
+ * imbalance).
+ */
+
+#ifndef NEURO_SNN_LABELING_H
+#define NEURO_SNN_LABELING_H
+
+#include <cstdint>
+#include <vector>
+
+namespace neuro {
+namespace snn {
+
+/** Accumulates per-neuron, per-label win counters. */
+class SelfLabeling
+{
+  public:
+    /** Construct for @p num_neurons neurons and @p num_classes labels. */
+    SelfLabeling(std::size_t num_neurons, int num_classes);
+
+    /** Record that @p neuron won an image of @p label. */
+    void record(std::size_t neuron, int label);
+
+    /**
+     * Finalize: tag each neuron with its best normalized label.
+     * @param label_counts number of training images per label.
+     * @return per-neuron label (-1 for neurons that never won).
+     */
+    std::vector<int>
+    finalize(const std::vector<std::size_t> &label_counts) const;
+
+    /** @return the raw counter for (neuron, label). */
+    uint32_t counter(std::size_t neuron, int label) const;
+
+  private:
+    std::size_t numNeurons_;
+    int numClasses_;
+    std::vector<uint32_t> counters_; ///< numNeurons x numClasses.
+};
+
+} // namespace snn
+} // namespace neuro
+
+#endif // NEURO_SNN_LABELING_H

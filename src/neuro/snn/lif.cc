@@ -1,0 +1,31 @@
+#include "neuro/snn/lif.h"
+
+#include <cmath>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace snn {
+
+double
+lifDecay(double potential, double dt_ms, double tleak_ms)
+{
+    NEURO_ASSERT(dt_ms >= 0.0, "time cannot run backwards");
+    NEURO_ASSERT(tleak_ms > 0.0, "leak time constant must be positive");
+    return potential * std::exp(-dt_ms / tleak_ms);
+}
+
+double
+lifDecayDiscrete(double potential, double dt_ms, double tleak_ms, int steps)
+{
+    NEURO_ASSERT(steps > 0, "need at least one integration step");
+    // Forward-Euler on v' = -v/Tleak.
+    const double h = dt_ms / static_cast<double>(steps);
+    double v = potential;
+    for (int i = 0; i < steps; ++i)
+        v -= v * h / tleak_ms;
+    return v;
+}
+
+} // namespace snn
+} // namespace neuro

@@ -1,0 +1,231 @@
+#include "neuro/snn/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "neuro/common/logging.h"
+#include "neuro/common/rng.h"
+
+namespace neuro {
+namespace snn {
+
+int
+PresentationResult::winner(Readout readout) const
+{
+    switch (readout) {
+      case Readout::FirstSpike:
+        return firstSpikeNeuron >= 0 ? firstSpikeNeuron
+                                     : maxPotentialNeuron;
+      case Readout::MaxPotential:
+        return maxPotentialNeuron;
+      case Readout::MaxSpikeCount: {
+        if (outputSpikeCount == 0)
+            return maxPotentialNeuron;
+        int best = -1;
+        uint16_t best_count = 0;
+        for (std::size_t n = 0; n < spikeCountPerNeuron.size(); ++n) {
+            if (spikeCountPerNeuron[n] > best_count) {
+                best_count = spikeCountPerNeuron[n];
+                best = static_cast<int>(n);
+            }
+        }
+        return best;
+      }
+    }
+    panic("unreachable readout");
+}
+
+SnnNetwork::SnnNetwork(const SnnConfig &config, Rng &rng)
+    : config_(config),
+      weights_(config.numNeurons, config.numInputs),
+      neurons_(config.numNeurons),
+      stdp_(config.stdp),
+      homeostasis_(config.homeostasis),
+      lastInputSpike_(config.numInputs, -1)
+{
+    NEURO_ASSERT(config_.numInputs > 0 && config_.numNeurons > 0,
+                 "empty network");
+    NEURO_ASSERT(config_.initialThreshold > 0.0, "threshold must be > 0");
+    weights_.fillUniform(rng, config_.wInitMin, config_.wInitMax);
+    for (auto &n : neurons_) {
+        n.threshold = config_.initialThreshold *
+            (1.0 + config_.thresholdJitter * (rng.uniform() - 0.5));
+    }
+}
+
+void
+SnnNetwork::beginPresentation(PresentationResult &result)
+{
+    result = PresentationResult();
+    result.spikeCountPerNeuron.assign(config_.numNeurons, 0);
+    for (auto &n : neurons_)
+        n.resetDynamics();
+    std::fill(lastInputSpike_.begin(), lastInputSpike_.end(), -1);
+}
+
+void
+SnnNetwork::stepTick(int64_t t, const std::vector<uint16_t> &spikes,
+                     bool learn, PresentationResult &result,
+                     PresentationTrace *trace)
+{
+    if (spikes.empty())
+        return;
+    const std::size_t num_neurons = config_.numNeurons;
+    const std::size_t num_inputs = config_.numInputs;
+
+    result.inputSpikeCount += spikes.size();
+    // Integrate the tick's synaptic drive into every ungated neuron
+    // (gated = refractory or laterally inhibited).
+    for (std::size_t n = 0; n < num_neurons; ++n) {
+        LifNeuron &neuron = neurons_[n];
+        if (neuron.gated(t))
+            continue;
+        neuron.decayTo(t, config_.tLeakMs);
+        const float *row = weights_.row(n);
+        double drive = 0.0;
+        for (uint16_t p : spikes)
+            drive += row[p];
+        neuron.integrate(drive);
+    }
+    for (uint16_t p : spikes) {
+        NEURO_ASSERT(p < num_inputs, "input spike out of range");
+        lastInputSpike_[p] = t;
+    }
+
+    // Fire at most one neuron per tick: the one whose potential
+    // exceeds its threshold by the largest margin (the WTA inhibition
+    // then silences the others, matching the "only one neuron can
+    // fire for a given input" dynamics).
+    int fire_n = -1;
+    double best_margin = 0.0;
+    for (std::size_t n = 0; n < num_neurons; ++n) {
+        const LifNeuron &neuron = neurons_[n];
+        if (neuron.gated(t) || !neuron.shouldFire())
+            continue;
+        const double margin = neuron.potential - neuron.threshold;
+        if (fire_n < 0 || margin > best_margin) {
+            fire_n = static_cast<int>(n);
+            best_margin = margin;
+        }
+    }
+    if (fire_n >= 0) {
+        LifNeuron &winner =
+            neurons_[static_cast<std::size_t>(fire_n)];
+        winner.fire(t, config_.tRefracMs);
+        ++result.outputSpikeCount;
+        ++result.spikeCountPerNeuron[static_cast<std::size_t>(fire_n)];
+        if (result.firstSpikeNeuron < 0) {
+            result.firstSpikeNeuron = fire_n;
+            result.firstSpikeTimeMs = t;
+        }
+        for (std::size_t n = 0; n < num_neurons; ++n) {
+            if (static_cast<int>(n) == fire_n)
+                continue;
+            neurons_[n].inhibitedUntil =
+                std::max(neurons_[n].inhibitedUntil,
+                         t + config_.tInhibitMs);
+            if (config_.wtaReset)
+                neurons_[n].potential = 0.0;
+        }
+        if (learn) {
+            stdp_.onPostSpike(
+                weights_.row(static_cast<std::size_t>(fire_n)),
+                lastInputSpike_.data(), t, num_inputs);
+        }
+        if (trace) {
+            trace->outputSpikes.emplace_back(
+                static_cast<int>(t), static_cast<uint16_t>(fire_n));
+        }
+    }
+    if (trace) {
+        for (uint16_t p : spikes)
+            trace->inputSpikes.emplace_back(static_cast<int>(t), p);
+    }
+}
+
+void
+SnnNetwork::finishPresentation(bool learn, PresentationResult &result)
+{
+    const int period = config_.coding.periodMs;
+    // End-of-window potentials (decayed to the window end) for the
+    // max-potential readout.
+    double best_pot = -1.0;
+    for (std::size_t n = 0; n < config_.numNeurons; ++n) {
+        neurons_[n].decayTo(period, config_.tLeakMs);
+        if (neurons_[n].potential > best_pot) {
+            best_pot = neurons_[n].potential;
+            result.maxPotentialNeuron = static_cast<int>(n);
+        }
+    }
+    if (learn)
+        homeostasis_.advance(period, neurons_.data(), neurons_.size());
+}
+
+PresentationResult
+SnnNetwork::presentImage(const SpikeTrainGrid &grid, bool learn,
+                         PresentationTrace *trace)
+{
+    const std::size_t num_neurons = config_.numNeurons;
+    const int period = config_.coding.periodMs;
+    NEURO_ASSERT(grid.ticks.size() == static_cast<std::size_t>(period),
+                 "spike grid length %zu != period %d", grid.ticks.size(),
+                 period);
+
+    PresentationResult result;
+    beginPresentation(result);
+
+    const std::size_t trace_neurons = trace
+        ? (trace->neuronLimit ? std::min(trace->neuronLimit, num_neurons)
+                              : num_neurons)
+        : 0;
+
+    for (int t = 0; t < period; ++t) {
+        stepTick(t, grid.ticks[static_cast<std::size_t>(t)], learn,
+                 result, trace);
+        if (trace) {
+            std::vector<float> row(trace_neurons);
+            for (std::size_t n = 0; n < trace_neurons; ++n) {
+                // Sample the decayed value without mutating state.
+                const LifNeuron &neuron = neurons_[n];
+                row[n] = static_cast<float>(
+                    lifDecay(neuron.potential,
+                             static_cast<double>(
+                                 t - neuron.lastUpdateMs < 0
+                                     ? 0
+                                     : t - neuron.lastUpdateMs),
+                             config_.tLeakMs));
+            }
+            trace->potentials.push_back(std::move(row));
+        }
+    }
+    finishPresentation(learn, result);
+    return result;
+}
+
+int
+SnnNetwork::forwardCounts(const uint8_t *counts,
+                          std::vector<double> *potentials) const
+{
+    const std::size_t num_neurons = config_.numNeurons;
+    const std::size_t num_inputs = config_.numInputs;
+    if (potentials)
+        potentials->assign(num_neurons, 0.0);
+    int best = 0;
+    double best_pot = -1.0;
+    for (std::size_t n = 0; n < num_neurons; ++n) {
+        const float *row = weights_.row(n);
+        double pot = 0.0;
+        for (std::size_t p = 0; p < num_inputs; ++p)
+            pot += static_cast<double>(counts[p]) * row[p];
+        if (potentials)
+            (*potentials)[n] = pot;
+        if (pot > best_pot) {
+            best_pot = pot;
+            best = static_cast<int>(n);
+        }
+    }
+    return best;
+}
+
+} // namespace snn
+} // namespace neuro

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The paper's SNN topology (Section 2.2): a single layer of LIF neurons,
+ * each excited by every input pixel and inhibiting all its peers when it
+ * fires (winner-takes-all dynamics emulated by an inhibition period, as
+ * in the hardware). Readout is spike-based: the first neuron to fire
+ * wins; the hardware SNNwot variant reads out the highest potential
+ * instead.
+ */
+
+#ifndef NEURO_SNN_NETWORK_H
+#define NEURO_SNN_NETWORK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "neuro/common/matrix.h"
+#include "neuro/snn/coding.h"
+#include "neuro/snn/homeostasis.h"
+#include "neuro/snn/lif.h"
+#include "neuro/snn/stdp.h"
+
+namespace neuro {
+
+class Rng;
+
+namespace snn {
+
+/** Full SNN configuration (paper defaults of Table 1). */
+struct SnnConfig
+{
+    std::size_t numInputs = 784;  ///< input pixels.
+    std::size_t numNeurons = 300; ///< output LIF neurons.
+    CodingConfig coding;          ///< input spike coding.
+    double tLeakMs = 500.0;       ///< Tleak.
+    int tInhibitMs = 5;           ///< Tinhibit (WTA inhibition).
+    int tRefracMs = 20;           ///< Trefrac.
+    double initialThreshold = 17850.0; ///< Tinit = wmax * 70.
+    /** Per-neuron random jitter applied to the initial threshold so the
+     *  WTA race has no exact ties (Figure 3: "all neurons have
+     *  different firing thresholds"). */
+    double thresholdJitter = 0.05;
+    /** Winner-takes-all reset: a firing neuron zeroes its peers'
+     *  potentials (the effect of the lateral inhibitory connections)
+     *  in addition to the Tinhibit gating. */
+    bool wtaReset = true;
+    StdpConfig stdp;              ///< learning rule.
+    HomeostasisConfig homeostasis;///< threshold adaptation.
+    float wInitMin = 0.3f * 255.0f; ///< initial weight range, low.
+    float wInitMax = 0.7f * 255.0f; ///< initial weight range, high.
+};
+
+/** How the winning neuron is read out. */
+enum class Readout
+{
+    FirstSpike,   ///< first neuron to fire (paper's SNNwt readout).
+    MaxPotential, ///< highest potential (paper's SNNwot readout).
+    MaxSpikeCount ///< most output spikes over the window.
+};
+
+/** Optional per-presentation trace for Figure 3-style plots. */
+struct PresentationTrace
+{
+    /** Sampled neuron potentials: potentials[t][n] at each tick. */
+    std::vector<std::vector<float>> potentials;
+    /** Input raster: (tick, pixel) pairs. */
+    std::vector<std::pair<int, uint16_t>> inputSpikes;
+    /** Output spikes: (tick, neuron) pairs. */
+    std::vector<std::pair<int, uint16_t>> outputSpikes;
+    /** Record potentials only for the first N neurons (0 = all). */
+    std::size_t neuronLimit = 0;
+};
+
+/** Outcome of one image presentation. */
+struct PresentationResult
+{
+    int firstSpikeNeuron = -1;     ///< first firing neuron (-1 if none).
+    int64_t firstSpikeTimeMs = -1; ///< its firing time.
+    int maxPotentialNeuron = -1;   ///< argmax of end-of-window potential.
+    std::size_t inputSpikeCount = 0;  ///< total input spikes seen.
+    std::size_t outputSpikeCount = 0; ///< total output spikes fired.
+    std::vector<uint16_t> spikeCountPerNeuron; ///< output spikes/neuron.
+
+    /** Winner under the requested readout (falls back to max potential
+     *  when no neuron fired). */
+    int winner(Readout readout) const;
+};
+
+/**
+ * The single-layer WTA spiking network. Owns the synaptic weight matrix
+ * (numNeurons x numInputs, weights in [0, wMax]), the per-neuron LIF
+ * state and thresholds, and the STDP + homeostasis machinery.
+ */
+class SnnNetwork
+{
+  public:
+    /** Construct with uniformly random initial weights. */
+    SnnNetwork(const SnnConfig &config, Rng &rng);
+
+    /** @return the configuration. */
+    const SnnConfig &config() const { return config_; }
+
+    /** @return the weight matrix (numNeurons x numInputs). */
+    const Matrix &weights() const { return weights_; }
+    /** @return mutable weights (tests, SNN+BP). */
+    Matrix &weights() { return weights_; }
+
+    /** @return per-neuron LIF state (thresholds included). */
+    const std::vector<LifNeuron> &neurons() const { return neurons_; }
+    /** @return mutable neuron state. */
+    std::vector<LifNeuron> &neurons() { return neurons_; }
+
+    /**
+     * Present one encoded image for a full window.
+     *
+     * @param grid   the input spike train.
+     * @param learn  apply STDP on firing events and advance homeostasis.
+     * @param trace  optional trace sink (slows the run; for figures).
+     */
+    PresentationResult presentImage(const SpikeTrainGrid &grid, bool learn,
+                                    PresentationTrace *trace = nullptr);
+
+    /**
+     * Step-wise presentation API: presentImage() is equivalent to
+     * beginPresentation(), stepTick() for every non-empty tick in
+     * order, then finishPresentation(). Exposed so event-driven
+     * drivers (cycle::presentViaEventQueue) can run the same dynamics
+     * from an event queue.
+     */
+    void beginPresentation(PresentationResult &result);
+
+    /** Integrate the spikes arriving at tick @p t and run the WTA. */
+    void stepTick(int64_t t, const std::vector<uint16_t> &spikes,
+                  bool learn, PresentationResult &result,
+                  PresentationTrace *trace = nullptr);
+
+    /** Decay to the window end, resolve the max-potential readout and
+     *  (when learning) advance homeostasis. */
+    void finishPresentation(bool learn, PresentationResult &result);
+
+    /**
+     * The SNNwot forward path (Section 4.2.2): potentials from spike
+     * *counts* only, no timing, no leak; the winner is the neuron with
+     * the highest potential.
+     *
+     * @param counts per-pixel spike counts (numInputs entries).
+     * @param potentials optional sink for all neuron potentials.
+     * @return the winning neuron index.
+     */
+    int forwardCounts(const uint8_t *counts,
+                      std::vector<double> *potentials = nullptr) const;
+
+    /** Total homeostasis epochs processed during learning. */
+    int64_t homeostasisEpochs() const
+    {
+        return homeostasis_.epochsProcessed();
+    }
+
+  private:
+    SnnConfig config_;
+    Matrix weights_;
+    std::vector<LifNeuron> neurons_;
+    StdpRule stdp_;
+    Homeostasis homeostasis_;
+    /** Per-input time of last presynaptic spike (presentation-local). */
+    std::vector<int64_t> lastInputSpike_;
+};
+
+} // namespace snn
+} // namespace neuro
+
+#endif // NEURO_SNN_NETWORK_H

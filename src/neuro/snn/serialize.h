@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Save/restore of trained SNN+STDP models: the network configuration,
+ * synaptic weights, homeostasis-adjusted thresholds and the
+ * self-labeling result travel together, so an accelerator image can be
+ * trained once and deployed/inspected later.
+ */
+
+#ifndef NEURO_SNN_SERIALIZE_H
+#define NEURO_SNN_SERIALIZE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "neuro/snn/network.h"
+
+namespace neuro {
+
+class Archive;
+
+namespace snn {
+
+/** A deployable trained model: the network and its neuron labels. */
+struct TrainedSnn
+{
+    SnnNetwork network;      ///< weights + thresholds + config.
+    std::vector<int> labels; ///< per-neuron class labels (-1 = none).
+};
+
+/** Store @p net and @p labels into @p archive under @p prefix. */
+void saveSnn(const SnnNetwork &net, const std::vector<int> &labels,
+             Archive &archive, const std::string &prefix = "snn");
+
+/** Rebuild a trained model; empty optional on missing/invalid data. */
+std::optional<TrainedSnn>
+loadSnn(const Archive &archive, const std::string &prefix = "snn");
+
+} // namespace snn
+} // namespace neuro
+
+#endif // NEURO_SNN_SERIALIZE_H

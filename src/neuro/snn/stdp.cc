@@ -1,0 +1,46 @@
+#include "neuro/snn/stdp.h"
+
+#include <algorithm>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace snn {
+
+StdpRule::StdpRule(const StdpConfig &config)
+    : config_(config)
+{
+    NEURO_ASSERT(config_.ltpWindowMs >= 0, "negative LTP window");
+    NEURO_ASSERT(config_.wMin < config_.wMax, "degenerate weight range");
+    NEURO_ASSERT(config_.ltpIncrement >= 0 && config_.ltdDecrement >= 0,
+                 "negative STDP steps");
+}
+
+std::size_t
+StdpRule::onPostSpike(float *weights, const int64_t *last_input_spike,
+                      int64_t fire_time_ms, std::size_t num_inputs) const
+{
+    std::size_t potentiated = 0;
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+        const int64_t last = last_input_spike[i];
+        const bool causal = last >= 0 && last <= fire_time_ms &&
+            fire_time_ms - last <= config_.ltpWindowMs;
+        const float span = config_.wMax - config_.wMin;
+        if (causal) {
+            float step = config_.ltpIncrement;
+            if (config_.softBounds)
+                step *= (config_.wMax - weights[i]) / span;
+            weights[i] = std::min(weights[i] + step, config_.wMax);
+            ++potentiated;
+        } else {
+            float step = config_.ltdDecrement;
+            if (config_.softBounds)
+                step *= (weights[i] - config_.wMin) / span;
+            weights[i] = std::max(weights[i] - step, config_.wMin);
+        }
+    }
+    return potentiated;
+}
+
+} // namespace snn
+} // namespace neuro

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Simplified Spike-Timing-Dependent Plasticity (Sections 2.2 and 4.4),
+ * the rule the paper's online-learning circuit implements: when a neuron
+ * fires at time t, every input synapse whose most recent presynaptic
+ * spike falls within the LTP window [t - TLTP, t] is potentiated by a
+ * constant increment; every other synapse (spike too old, or none) is
+ * depressed by a constant decrement. Weights saturate at [wMin, wMax].
+ * STDP applies only to the excitatory input synapses, never to the
+ * lateral inhibition.
+ */
+
+#ifndef NEURO_SNN_STDP_H
+#define NEURO_SNN_STDP_H
+
+#include <cstdint>
+#include <vector>
+
+namespace neuro {
+namespace snn {
+
+/** STDP parameters (paper values: TLTP = 45 ms, unit increments on 8-bit
+ *  weights; the increments are configurable so that scaled-down training
+ *  sets can learn at the same effective rate). */
+struct StdpConfig
+{
+    int ltpWindowMs = 45;   ///< TLTP.
+    float ltpIncrement = 1; ///< weight increase on potentiation.
+    float ltdDecrement = 1; ///< weight decrease on depression.
+    float wMin = 0.0f;      ///< weight floor.
+    float wMax = 255.0f;    ///< weight ceiling (8-bit weights).
+    /** Soft (multiplicative) bounds: potentiation scales with the
+     *  remaining headroom (1 - w/wMax) and depression with w/wMax, as
+     *  in the memristive STDP the paper's SNN baseline [11, 20] uses.
+     *  Keeps receptive fields graded instead of slamming to the rails.
+     */
+    bool softBounds = true;
+};
+
+/** Applies the simplified STDP update on postsynaptic firing events. */
+class StdpRule
+{
+  public:
+    explicit StdpRule(const StdpConfig &config);
+
+    /** @return the configuration. */
+    const StdpConfig &config() const { return config_; }
+
+    /**
+     * Update one neuron's input weights after it fired.
+     *
+     * @param weights            the neuron's synaptic row (num_inputs).
+     * @param last_input_spike   per-input time of the most recent
+     *                           presynaptic spike (-1 = never).
+     * @param fire_time_ms       postsynaptic spike time.
+     * @param num_inputs         synapse count.
+     * @return number of potentiated synapses (for stats/tests).
+     */
+    std::size_t onPostSpike(float *weights,
+                            const int64_t *last_input_spike,
+                            int64_t fire_time_ms,
+                            std::size_t num_inputs) const;
+
+  private:
+    StdpConfig config_;
+};
+
+} // namespace snn
+} // namespace neuro
+
+#endif // NEURO_SNN_STDP_H

@@ -1,0 +1,149 @@
+#include "neuro/snn/trainer.h"
+
+#include <vector>
+
+#include "neuro/common/logging.h"
+#include "neuro/common/rng.h"
+#include "neuro/snn/labeling.h"
+
+namespace neuro {
+namespace snn {
+
+SnnStdpTrainer::SnnStdpTrainer(const SnnConfig &config)
+    : encoder_(config.coding)
+{
+}
+
+void
+SnnStdpTrainer::train(SnnNetwork &net, const datasets::Dataset &data,
+                      const SnnTrainConfig &config,
+                      const SnnEpochCallback &callback)
+{
+    NEURO_ASSERT(!data.empty(), "cannot train on an empty dataset");
+    NEURO_ASSERT(data.inputSize() == net.config().numInputs,
+                 "dataset input size %zu != SNN inputs %zu",
+                 data.inputSize(), net.config().numInputs);
+
+    Rng rng(config.seed);
+    const std::size_t n = data.size();
+    std::vector<uint32_t> order(n);
+    rng.shuffle(order.data(), n);
+
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        if (config.shuffle)
+            rng.shuffle(order.data(), n);
+        SnnEpochReport report;
+        report.epoch = epoch;
+        for (std::size_t step = 0; step < n; ++step) {
+            const auto &sample = data[order[step]];
+            const SpikeTrainGrid grid = encoder_.encode(
+                sample.pixels.data(), sample.pixels.size(), rng);
+            const PresentationResult r =
+                net.presentImage(grid, /*learn=*/true);
+            report.outputSpikes += r.outputSpikeCount;
+            if (r.outputSpikeCount == 0)
+                ++report.silentImages;
+            if (stats_) {
+                stats_->inc("snn.images_presented");
+                stats_->inc("snn.input_spikes", r.inputSpikeCount);
+                stats_->inc("snn.output_spikes", r.outputSpikeCount);
+                stats_->sample("snn.output_spikes_per_image",
+                               static_cast<double>(
+                                   r.outputSpikeCount));
+                if (r.firstSpikeTimeMs >= 0) {
+                    stats_->sample("snn.first_spike_ms",
+                                   static_cast<double>(
+                                       r.firstSpikeTimeMs));
+                }
+            }
+        }
+        if (callback)
+            callback(report);
+    }
+}
+
+int
+SnnStdpTrainer::winnerFor(SnnNetwork &net, const datasets::Dataset &data,
+                          std::size_t i, EvalMode mode, Rng &rng,
+                          bool *fired)
+{
+    const auto &sample = data[i];
+    if (mode == EvalMode::Wot) {
+        // Deterministic count-based conversion; no RNG involved.
+        std::vector<uint8_t> counts(sample.pixels.size());
+        for (std::size_t p = 0; p < counts.size(); ++p)
+            counts[p] = encoder_.spikeCount(sample.pixels[p]);
+        if (fired)
+            *fired = true;
+        return net.forwardCounts(counts.data());
+    }
+    const SpikeTrainGrid grid =
+        encoder_.encode(sample.pixels.data(), sample.pixels.size(), rng);
+    const PresentationResult r = net.presentImage(grid, /*learn=*/false);
+    if (fired)
+        *fired = r.firstSpikeNeuron >= 0;
+    return r.winner(Readout::FirstSpike);
+}
+
+std::vector<int>
+SnnStdpTrainer::labelNeurons(SnnNetwork &net, const datasets::Dataset &data,
+                             EvalMode mode, uint64_t seed)
+{
+    NEURO_ASSERT(!data.empty(), "cannot label on an empty dataset");
+    Rng rng(seed);
+    SelfLabeling labeling(net.config().numNeurons, data.numClasses());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const int winner = winnerFor(net, data, i, mode, rng);
+        if (winner >= 0)
+            labeling.record(static_cast<std::size_t>(winner),
+                            data[i].label);
+    }
+    return labeling.finalize(data.classHistogram());
+}
+
+SnnEvalResult
+SnnStdpTrainer::evaluate(SnnNetwork &net, const std::vector<int> &labels,
+                         const datasets::Dataset &data, EvalMode mode,
+                         uint64_t seed)
+{
+    NEURO_ASSERT(labels.size() == net.config().numNeurons,
+                 "labels size mismatch");
+    NEURO_ASSERT(!data.empty(), "cannot evaluate on an empty dataset");
+    Rng rng(seed);
+    SnnEvalResult result;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        bool fired = true;
+        const int winner = winnerFor(net, data, i, mode, rng, &fired);
+        if (!fired)
+            ++result.silent;
+        if (winner >= 0 &&
+            labels[static_cast<std::size_t>(winner)] == data[i].label) {
+            ++correct;
+        }
+    }
+    result.accuracy =
+        static_cast<double>(correct) / static_cast<double>(data.size());
+    return result;
+}
+
+double
+trainAndEvaluateStdp(const SnnConfig &config,
+                     const SnnTrainConfig &train_config,
+                     const datasets::Dataset &train_set,
+                     const datasets::Dataset &test_set, EvalMode mode,
+                     uint64_t init_seed)
+{
+    Rng rng(init_seed);
+    SnnNetwork net(config, rng);
+    SnnStdpTrainer trainer(config);
+    trainer.train(net, train_set, train_config);
+    const auto labels = trainer.labelNeurons(net, train_set, mode,
+                                             train_config.seed + 101);
+    return trainer
+        .evaluate(net, labels, test_set, mode, train_config.seed + 202)
+        .accuracy;
+}
+
+} // namespace snn
+} // namespace neuro

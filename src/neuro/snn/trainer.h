@@ -1,0 +1,116 @@
+/**
+ * @file
+ * STDP training pipeline (Sections 2.2 and 3.1): unsupervised STDP over
+ * the training set, a self-labeling pass, then evaluation under either
+ * the timed (SNNwt) or the count-based (SNNwot) forward path.
+ */
+
+#ifndef NEURO_SNN_TRAINER_H
+#define NEURO_SNN_TRAINER_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "neuro/common/stats.h"
+#include "neuro/datasets/dataset.h"
+#include "neuro/snn/network.h"
+
+namespace neuro {
+namespace snn {
+
+/** Which forward path evaluation uses. */
+enum class EvalMode
+{
+    Wt, ///< timed LIF simulation, first-spike readout (SNNwt).
+    Wot ///< deterministic spike counts, max-potential readout (SNNwot).
+};
+
+/** Training-run parameters. */
+struct SnnTrainConfig
+{
+    std::size_t epochs = 1; ///< passes over the training set.
+    uint64_t seed = 11;     ///< spike-generation / shuffling seed.
+    bool shuffle = true;    ///< reshuffle presentation order per epoch.
+};
+
+/** Per-epoch training progress. */
+struct SnnEpochReport
+{
+    std::size_t epoch = 0;          ///< 0-based epoch.
+    std::size_t outputSpikes = 0;   ///< total output spikes this epoch.
+    std::size_t silentImages = 0;   ///< images with no output spike.
+};
+
+/** Optional observer invoked after each epoch. */
+using SnnEpochCallback = std::function<void(const SnnEpochReport &)>;
+
+/** Evaluation outcome. */
+struct SnnEvalResult
+{
+    double accuracy = 0.0;        ///< fraction correct.
+    std::size_t silent = 0;       ///< images resolved by the
+                                  ///< max-potential fallback.
+};
+
+/** Drives STDP training, labeling and evaluation of an SnnNetwork. */
+class SnnStdpTrainer
+{
+  public:
+    /** The encoder is derived from the network's coding config. */
+    explicit SnnStdpTrainer(const SnnConfig &config);
+
+    /**
+     * Attach a statistics sink (gem5-style): training then records
+     * presented images, input/output spike counts and per-image spike
+     * distributions under "snn.*" names. Pass nullptr to detach; the
+     * registry must outlive the trainer's use of it.
+     */
+    void setStats(StatRegistry *stats) { stats_ = stats; }
+
+    /** Run unsupervised STDP over @p data. */
+    void train(SnnNetwork &net, const datasets::Dataset &data,
+               const SnnTrainConfig &config,
+               const SnnEpochCallback &callback = {});
+
+    /**
+     * Self-labeling pass (weights frozen): tag each neuron with the
+     * label it wins most often, normalized by class frequency.
+     */
+    std::vector<int> labelNeurons(SnnNetwork &net,
+                                  const datasets::Dataset &data,
+                                  EvalMode mode, uint64_t seed);
+
+    /** Classification accuracy with the given neuron labels. */
+    SnnEvalResult evaluate(SnnNetwork &net, const std::vector<int> &labels,
+                           const datasets::Dataset &data, EvalMode mode,
+                           uint64_t seed);
+
+    /** @return the encoder (for tests and traces). */
+    const SpikeEncoder &encoder() const { return encoder_; }
+
+  private:
+    /** Winner neuron for sample @p i of @p data under @p mode. */
+    int winnerFor(SnnNetwork &net, const datasets::Dataset &data,
+                  std::size_t i, EvalMode mode, Rng &rng,
+                  bool *fired = nullptr);
+
+    SpikeEncoder encoder_;
+    StatRegistry *stats_ = nullptr;
+};
+
+/**
+ * End-to-end convenience used by the accuracy benches: build, train,
+ * label and evaluate an SNN+STDP model.
+ * @return test accuracy in [0,1].
+ */
+double trainAndEvaluateStdp(const SnnConfig &config,
+                            const SnnTrainConfig &train_config,
+                            const datasets::Dataset &train_set,
+                            const datasets::Dataset &test_set,
+                            EvalMode mode, uint64_t init_seed);
+
+} // namespace snn
+} // namespace neuro
+
+#endif // NEURO_SNN_TRAINER_H

@@ -1,0 +1,96 @@
+// Tests for the MLP activation functions and the hardware 16-point
+// piecewise-linear sigmoid (Section 4.2.1 / Figure 5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "neuro/mlp/activation.h"
+
+namespace neuro {
+namespace mlp {
+namespace {
+
+TEST(Activation, SigmoidValues)
+{
+    const Activation f(ActivationKind::Sigmoid);
+    EXPECT_NEAR(f.apply(0.0f), 0.5f, 1e-6);
+    EXPECT_NEAR(f.apply(10.0f), 1.0f, 1e-4);
+    EXPECT_NEAR(f.apply(-10.0f), 0.0f, 1e-4);
+    EXPECT_NEAR(f.derivativeFromOutput(0.5f), 0.25f, 1e-6);
+}
+
+class SlopeTest : public ::testing::TestWithParam<float>
+{
+};
+
+TEST_P(SlopeTest, HigherSlopeIsSteeper)
+{
+    const float a = GetParam();
+    const Activation base(ActivationKind::Sigmoid);
+    const Activation steep(ActivationKind::ParamSigmoid, a);
+    // At x=0 both are 0.5; just right of 0 the steeper one is larger.
+    EXPECT_NEAR(steep.apply(0.0f), 0.5f, 1e-6);
+    if (a > 1.0f)
+        EXPECT_GT(steep.apply(0.2f), base.apply(0.2f));
+    // Approaches the step function as a grows (Figure 5).
+    const Activation step(ActivationKind::Step);
+    EXPECT_NEAR(steep.apply(4.0f), step.apply(4.0f), 1.0f / a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slopes, SlopeTest,
+                         ::testing::Values(1.0f, 2.0f, 4.0f, 8.0f, 16.0f));
+
+TEST(Activation, StepIsBinaryWithSurrogateGradient)
+{
+    const Activation f(ActivationKind::Step, 4.0f);
+    EXPECT_FLOAT_EQ(f.apply(-0.001f), 0.0f);
+    EXPECT_FLOAT_EQ(f.apply(0.0f), 1.0f);
+    // Surrogate gradient must be nonzero so BP can train.
+    EXPECT_GT(f.derivativeFromOutput(0.0f), 0.0f);
+    EXPECT_GT(f.derivativeFromOutput(1.0f), 0.0f);
+}
+
+TEST(PiecewiseSigmoid, CloseToExactEverywhere)
+{
+    const PiecewiseSigmoid pli(1.0f);
+    // 16 equal secant segments over [-8, 8]: worst-case error ~1.2%
+    // (the paper found the approximation does not hurt accuracy).
+    EXPECT_LT(pli.maxError(), 0.02f);
+}
+
+TEST(PiecewiseSigmoid, SaturatesOutsideDomain)
+{
+    const PiecewiseSigmoid pli(1.0f);
+    EXPECT_FLOAT_EQ(pli.apply(-100.0f), 0.0f);
+    EXPECT_FLOAT_EQ(pli.apply(100.0f), 1.0f);
+}
+
+TEST(PiecewiseSigmoid, MonotonicallyIncreasing)
+{
+    const PiecewiseSigmoid pli(2.0f);
+    float prev = -1.0f;
+    for (float x = -9.0f; x <= 9.0f; x += 0.05f) {
+        const float y = pli.apply(x);
+        ASSERT_GE(y, prev - 1e-6f) << "not monotonic at " << x;
+        prev = y;
+    }
+}
+
+TEST(PiecewiseSigmoid, SegmentCoefficientsInterpolateEndpoints)
+{
+    const PiecewiseSigmoid pli(1.0f);
+    // At each segment start x0, a_i*x0 + b_i equals the exact sigmoid.
+    const float width =
+        2.0f * PiecewiseSigmoid::kRange / PiecewiseSigmoid::kSegments;
+    for (std::size_t i = 0; i < PiecewiseSigmoid::kSegments; ++i) {
+        const float x0 = -PiecewiseSigmoid::kRange +
+                         static_cast<float>(i) * width;
+        EXPECT_NEAR(pli.coeffA(i) * x0 + pli.coeffB(i), pli.exact(x0),
+                    1e-5f);
+    }
+}
+
+} // namespace
+} // namespace mlp
+} // namespace neuro

@@ -1,0 +1,144 @@
+// Tests for the spike coding schemes (rate and temporal).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "neuro/common/rng.h"
+#include "neuro/snn/coding.h"
+
+namespace neuro {
+namespace snn {
+namespace {
+
+CodingConfig
+makeConfig(CodingScheme scheme)
+{
+    CodingConfig config;
+    config.scheme = scheme;
+    config.periodMs = 500;
+    config.minIntervalMs = 50;
+    return config;
+}
+
+class RateCodingTest : public ::testing::TestWithParam<CodingScheme>
+{
+};
+
+TEST_P(RateCodingTest, RateProportionalToLuminance)
+{
+    const SpikeEncoder encoder(makeConfig(GetParam()));
+    Rng rng(1);
+    // Pixel 0 dark, pixel 1 mid, pixel 2 bright; average over trials.
+    const uint8_t pixels[3] = {0, 128, 255};
+    double counts[3] = {0, 0, 0};
+    const int trials = 60;
+    for (int t = 0; t < trials; ++t) {
+        const SpikeTrainGrid grid = encoder.encode(pixels, 3, rng);
+        const auto c = grid.pixelCounts(3);
+        for (int i = 0; i < 3; ++i)
+            counts[i] += c[static_cast<std::size_t>(i)];
+    }
+    EXPECT_DOUBLE_EQ(counts[0], 0.0) << "zero luminance must not spike";
+    EXPECT_GT(counts[2], counts[1] * 1.5);
+    // Bright pixel: ~10 spikes per 500 ms window.
+    EXPECT_NEAR(counts[2] / trials, 10.0, 2.5);
+    EXPECT_NEAR(counts[1] / trials, 5.0, 2.0);
+}
+
+TEST_P(RateCodingTest, SpikesWithinWindow)
+{
+    const SpikeEncoder encoder(makeConfig(GetParam()));
+    Rng rng(2);
+    const uint8_t pixels[2] = {255, 200};
+    const SpikeTrainGrid grid = encoder.encode(pixels, 2, rng);
+    EXPECT_EQ(grid.ticks.size(), 500u);
+    EXPECT_GT(grid.totalSpikes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, RateCodingTest,
+                         ::testing::Values(CodingScheme::RatePoisson,
+                                           CodingScheme::RateGaussian,
+                                           CodingScheme::RateRegular,
+                                           CodingScheme::RateBernoulli));
+
+TEST(TemporalCoding, TimeToFirstSpikeOrdersByLuminance)
+{
+    const SpikeEncoder encoder(
+        makeConfig(CodingScheme::TimeToFirstSpike));
+    Rng rng(3);
+    const uint8_t pixels[4] = {255, 128, 10, 0};
+    const SpikeTrainGrid grid = encoder.encode(pixels, 4, rng);
+    // Exactly one spike per nonzero pixel.
+    EXPECT_EQ(grid.totalSpikes(), 3u);
+    int first_time[4] = {-1, -1, -1, -1};
+    for (std::size_t t = 0; t < grid.ticks.size(); ++t)
+        for (uint16_t p : grid.ticks[t])
+            if (first_time[p] < 0)
+                first_time[p] = static_cast<int>(t);
+    EXPECT_LT(first_time[0], first_time[1]);
+    EXPECT_LT(first_time[1], first_time[2]);
+    EXPECT_EQ(first_time[3], -1);
+}
+
+TEST(TemporalCoding, RankOrderIsOnePerRank)
+{
+    const SpikeEncoder encoder(makeConfig(CodingScheme::RankOrder));
+    Rng rng(4);
+    const uint8_t pixels[5] = {50, 250, 0, 150, 100};
+    const SpikeTrainGrid grid = encoder.encode(pixels, 5, rng);
+    EXPECT_EQ(grid.totalSpikes(), 4u); // zero pixel silent.
+    // Collect spike order.
+    std::vector<uint16_t> order;
+    for (const auto &tick : grid.ticks)
+        for (uint16_t p : tick)
+            order.push_back(p);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1); // brightest first.
+    EXPECT_EQ(order[1], 3);
+    EXPECT_EQ(order[2], 4);
+    EXPECT_EQ(order[3], 0);
+}
+
+TEST(SpikeCount, FourBitDeterministicConversion)
+{
+    const SpikeEncoder encoder(makeConfig(CodingScheme::RatePoisson));
+    EXPECT_EQ(encoder.spikeCount(0), 0);
+    EXPECT_EQ(encoder.spikeCount(255), 10);
+    EXPECT_EQ(encoder.maxSpikeCount(), 10);
+    // Monotone in luminance, fits in 4 bits.
+    int prev = -1;
+    for (int p = 0; p <= 255; ++p) {
+        const int c = encoder.spikeCount(static_cast<uint8_t>(p));
+        ASSERT_GE(c, prev);
+        ASSERT_LT(c, 16);
+        prev = c;
+    }
+}
+
+TEST(SpikeCount, MatchesMeanOfStochasticTrain)
+{
+    const SpikeEncoder encoder(makeConfig(CodingScheme::RatePoisson));
+    Rng rng(5);
+    const uint8_t pixels[1] = {200};
+    double total = 0.0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        const SpikeTrainGrid grid = encoder.encode(pixels, 1, rng);
+        total += static_cast<double>(grid.totalSpikes());
+    }
+    EXPECT_NEAR(total / trials,
+                static_cast<double>(encoder.spikeCount(200)), 1.2);
+}
+
+TEST(Coding, SchemeNamesAreDistinct)
+{
+    EXPECT_NE(codingSchemeName(CodingScheme::RatePoisson),
+              codingSchemeName(CodingScheme::RateGaussian));
+    EXPECT_NE(codingSchemeName(CodingScheme::TimeToFirstSpike),
+              codingSchemeName(CodingScheme::RankOrder));
+}
+
+} // namespace
+} // namespace snn
+} // namespace neuro

@@ -1,0 +1,75 @@
+// Tests for the configuration registry and experiment scaling.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "neuro/common/config.h"
+
+namespace neuro {
+namespace {
+
+TEST(Config, SetAndTypedGet)
+{
+    Config cfg;
+    cfg.set("alpha", "42");
+    cfg.set("beta", "3.5");
+    cfg.set("gamma", "yes");
+    cfg.set("delta", "hello");
+    EXPECT_EQ(cfg.getInt("alpha", 0), 42);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("beta", 0.0), 3.5);
+    EXPECT_TRUE(cfg.getBool("gamma", false));
+    EXPECT_EQ(cfg.getString("delta", ""), "hello");
+}
+
+TEST(Config, FallbacksWhenAbsent)
+{
+    Config cfg;
+    EXPECT_EQ(cfg.getInt("missing", -7), -7);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("missing", 1.5), 1.5);
+    EXPECT_FALSE(cfg.getBool("missing", false));
+    EXPECT_EQ(cfg.getString("missing", "dft"), "dft");
+    EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(Config, FallbackOnUnparsableValue)
+{
+    Config cfg;
+    cfg.set("n", "not-a-number");
+    EXPECT_EQ(cfg.getInt("n", 9), 9);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("n", 2.0), 2.0);
+    cfg.set("b", "maybe");
+    EXPECT_TRUE(cfg.getBool("b", true));
+}
+
+TEST(Config, ParseArgsKeyValueOnly)
+{
+    Config cfg;
+    const char *argv[] = {"prog", "train=100", "--flag", "x=y=z", "=bad"};
+    cfg.parseArgs(5, const_cast<char **>(argv));
+    EXPECT_EQ(cfg.getInt("train", 0), 100);
+    EXPECT_EQ(cfg.getString("x", ""), "y=z");
+    EXPECT_FALSE(cfg.has("--flag"));
+    EXPECT_FALSE(cfg.has(""));
+}
+
+TEST(Config, ParseEnvPicksUpPrefixedVars)
+{
+    ::setenv("NEURO_TESTKEY", "77", 1);
+    Config cfg;
+    cfg.parseEnv();
+    EXPECT_EQ(cfg.getInt("testkey", 0), 77);
+    ::unsetenv("NEURO_TESTKEY");
+}
+
+TEST(Config, ScaledRespectsMinimum)
+{
+    // experimentScale() is latched once per process; whatever it is,
+    // scaled() must respect the floor and never exceed n for scale<=1.
+    EXPECT_GE(scaled(1000, 10), 10u);
+    EXPECT_LE(scaled(1000, 10), 1000u);
+    EXPECT_EQ(scaled(0, 5), 5u);
+}
+
+} // namespace
+} // namespace neuro

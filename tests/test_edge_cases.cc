@@ -1,0 +1,120 @@
+// Edge-case and API-misuse tests across modules, including death tests
+// for the NEURO_ASSERT contract (invariants abort rather than corrupt
+// results).
+
+#include <gtest/gtest.h>
+
+#include "neuro/common/config.h"
+#include "neuro/common/rng.h"
+#include "neuro/cycle/event_queue.h"
+#include "neuro/datasets/synth_digits.h"
+#include "neuro/snn/trainer.h"
+
+namespace neuro {
+namespace {
+
+TEST(EdgeCases, EvaluationWithAllNeuronsUnlabeled)
+{
+    snn::SnnConfig config;
+    config.numInputs = 16;
+    config.numNeurons = 4;
+    config.coding.periodMs = 50;
+    config.homeostasis.enabled = false;
+    Rng rng(1);
+    snn::SnnNetwork net(config, rng);
+    snn::SnnStdpTrainer trainer(config);
+
+    datasets::Dataset data("toy", 4, 4, 2);
+    datasets::Sample s;
+    s.label = 1;
+    s.pixels.assign(16, 180);
+    data.add(s);
+
+    const std::vector<int> labels(4, -1); // nothing ever labeled.
+    const auto result =
+        trainer.evaluate(net, labels, data, snn::EvalMode::Wot, 2);
+    EXPECT_DOUBLE_EQ(result.accuracy, 0.0);
+}
+
+TEST(EdgeCases, SingleNeuronSingleInputNetwork)
+{
+    snn::SnnConfig config;
+    config.numInputs = 1;
+    config.numNeurons = 1;
+    config.coding.periodMs = 20;
+    config.initialThreshold = 50.0;
+    config.wInitMin = 100.0f;
+    config.wInitMax = 100.0f;
+    config.thresholdJitter = 0.0;
+    config.homeostasis.enabled = false;
+    Rng rng(2);
+    snn::SnnNetwork net(config, rng);
+    snn::SpikeTrainGrid grid;
+    grid.ticks.resize(20);
+    grid.ticks[0].push_back(0);
+    const auto result = net.presentImage(grid, false);
+    EXPECT_EQ(result.outputSpikeCount, 1u);
+    EXPECT_EQ(result.firstSpikeNeuron, 0);
+}
+
+TEST(EdgeCases, ConfigArgsOverrideEnv)
+{
+    ::setenv("NEURO_PRIORITYKEY", "env", 1);
+    Config cfg;
+    cfg.parseEnv();
+    const char *argv[] = {"prog", "prioritykey=args"};
+    cfg.parseArgs(2, const_cast<char **>(argv));
+    EXPECT_EQ(cfg.getString("prioritykey", ""), "args");
+    ::unsetenv("NEURO_PRIORITYKEY");
+}
+
+TEST(EdgeCases, EncoderHandlesAllBlackAndAllWhiteImages)
+{
+    snn::CodingConfig config;
+    const snn::SpikeEncoder encoder(config);
+    Rng rng(3);
+    std::vector<uint8_t> black(64, 0), white(64, 255);
+    EXPECT_EQ(encoder.encode(black.data(), 64, rng).totalSpikes(), 0u);
+    const auto grid = encoder.encode(white.data(), 64, rng);
+    // ~10 spikes per pixel on average.
+    EXPECT_GT(grid.totalSpikes(), 64u * 5);
+    EXPECT_LT(grid.totalSpikes(), 64u * 20);
+}
+
+using EdgeDeathTest = ::testing::Test;
+
+TEST(EdgeDeathTest, EventQueueRejectsPastScheduling)
+{
+    cycle::EventQueue queue;
+    queue.schedule(10, [](int64_t) {});
+    queue.run();
+    EXPECT_DEATH(queue.schedule(5, [](int64_t) {}),
+                 "cannot schedule in the past");
+}
+
+TEST(EdgeDeathTest, DatasetRejectsWrongGeometry)
+{
+    datasets::Dataset data("toy", 4, 4, 2);
+    datasets::Sample s;
+    s.label = 0;
+    s.pixels.assign(15, 0); // one pixel short.
+    EXPECT_DEATH(data.add(s), "pixels");
+}
+
+TEST(EdgeDeathTest, DatasetRejectsOutOfRangeLabel)
+{
+    datasets::Dataset data("toy", 2, 2, 2);
+    datasets::Sample s;
+    s.label = 7;
+    s.pixels.assign(4, 0);
+    EXPECT_DEATH(data.add(s), "label");
+}
+
+TEST(EdgeDeathTest, RngRejectsZeroRange)
+{
+    Rng rng(4);
+    EXPECT_DEATH(rng.uniformInt(0), "nonzero");
+}
+
+} // namespace
+} // namespace neuro

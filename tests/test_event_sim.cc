@@ -1,0 +1,100 @@
+// Tests for the event-driven presentation driver: results must be
+// identical to the tick-loop presentImage, and the event count must
+// equal the number of spike-carrying instants.
+
+#include <gtest/gtest.h>
+
+#include "neuro/common/rng.h"
+#include "neuro/cycle/event_sim.h"
+#include "neuro/datasets/synth_digits.h"
+#include "neuro/snn/trainer.h"
+
+namespace neuro {
+namespace cycle {
+namespace {
+
+snn::SnnConfig
+smallConfig()
+{
+    snn::SnnConfig config;
+    config.numInputs = 784;
+    config.numNeurons = 20;
+    config.coding.periodMs = 200;
+    config.coding.minIntervalMs = 20;
+    config.tLeakMs = 200.0;
+    config.initialThreshold = 30000.0;
+    config.homeostasis.enabled = false;
+    return config;
+}
+
+TEST(EventSim, IdenticalToTickLoop)
+{
+    const snn::SnnConfig config = smallConfig();
+    datasets::SynthDigitsOptions opt;
+    opt.trainSize = 10;
+    opt.testSize = 1;
+    const datasets::Split split = datasets::makeSynthDigits(opt);
+    const snn::SpikeEncoder encoder(config.coding);
+
+    // Two identical networks (same seed), fed the same spike trains.
+    Rng rng_a(5), rng_b(5);
+    snn::SnnNetwork net_a(config, rng_a);
+    snn::SnnNetwork net_b(config, rng_b);
+
+    Rng spike_rng(6);
+    for (std::size_t i = 0; i < split.train.size(); ++i) {
+        const auto grid = encoder.encode(split.train[i].pixels.data(),
+                                         784, spike_rng);
+        const auto tick_result =
+            net_a.presentImage(grid, /*learn=*/true);
+        const auto event_result =
+            presentViaEventQueue(net_b, grid, /*learn=*/true);
+        const auto &ev = event_result.presentation;
+        ASSERT_EQ(tick_result.firstSpikeNeuron, ev.firstSpikeNeuron)
+            << "image " << i;
+        ASSERT_EQ(tick_result.firstSpikeTimeMs, ev.firstSpikeTimeMs);
+        ASSERT_EQ(tick_result.outputSpikeCount, ev.outputSpikeCount);
+        ASSERT_EQ(tick_result.maxPotentialNeuron,
+                  ev.maxPotentialNeuron);
+        ASSERT_EQ(tick_result.inputSpikeCount, ev.inputSpikeCount);
+    }
+    // Learned weights must also be identical (STDP applied at the same
+    // instants in both drivers).
+    ASSERT_EQ(net_a.weights().data(), net_b.weights().data());
+}
+
+TEST(EventSim, EventCountEqualsSpikeCarryingTicks)
+{
+    const snn::SnnConfig config = smallConfig();
+    Rng rng(7);
+    snn::SnnNetwork net(config, rng);
+
+    snn::SpikeTrainGrid grid;
+    grid.ticks.resize(200);
+    grid.ticks[3].push_back(1);
+    grid.ticks[3].push_back(2);
+    grid.ticks[50].push_back(0);
+    grid.ticks[150].push_back(3);
+
+    const auto result = presentViaEventQueue(net, grid, false);
+    EXPECT_EQ(result.eventsProcessed, 3u); // 3 distinct instants.
+    EXPECT_EQ(result.ticksInWindow, 200u);
+    EXPECT_EQ(result.presentation.inputSpikeCount, 4u);
+}
+
+TEST(EventSim, EmptyWindowProcessesNothing)
+{
+    const snn::SnnConfig config = smallConfig();
+    Rng rng(8);
+    snn::SnnNetwork net(config, rng);
+    snn::SpikeTrainGrid grid;
+    grid.ticks.resize(200);
+    const auto result = presentViaEventQueue(net, grid, false);
+    EXPECT_EQ(result.eventsProcessed, 0u);
+    EXPECT_EQ(result.presentation.outputSpikeCount, 0u);
+    EXPECT_EQ(result.presentation.firstSpikeNeuron, -1);
+}
+
+} // namespace
+} // namespace cycle
+} // namespace neuro

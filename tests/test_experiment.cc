@@ -1,0 +1,95 @@
+// Tests for the experiment plumbing: workload construction and the
+// paper-default configurations (Table 1).
+
+#include <gtest/gtest.h>
+
+#include "neuro/core/experiment.h"
+#include "neuro/core/reports.h"
+
+namespace neuro {
+namespace core {
+namespace {
+
+TEST(Workloads, MnistGeometryAndTopology)
+{
+    const Workload w = makeMnistWorkload(300, 100, 1);
+    EXPECT_EQ(w.data.train.width(), 28u);
+    EXPECT_EQ(w.data.train.numClasses(), 10);
+    EXPECT_EQ(w.mlpTopo.inputs, 784u);
+    EXPECT_EQ(w.mlpTopo.hidden, 100u);
+    EXPECT_EQ(w.snnTopo.neurons, 300u);
+}
+
+TEST(Workloads, Mpeg7UsesPaperTopologies)
+{
+    const Workload w = makeMpeg7Workload(200, 80, 2);
+    EXPECT_EQ(w.mlpTopo.hidden, 15u);  // Section 4.5: 28x28-15-10.
+    EXPECT_EQ(w.snnTopo.neurons, 90u); // Section 4.5: 28x28-90.
+    EXPECT_EQ(w.data.train.inputSize(), 784u);
+}
+
+TEST(Workloads, SadUsesPaperTopologies)
+{
+    const Workload w = makeSadWorkload(200, 80, 3);
+    EXPECT_EQ(w.data.train.width(), 13u);
+    EXPECT_EQ(w.data.train.height(), 13u);
+    EXPECT_EQ(w.mlpTopo.hidden, 60u);  // Section 4.5: 13x13-60-10.
+    EXPECT_EQ(w.snnTopo.neurons, 90u);
+}
+
+TEST(Defaults, MlpConfigMatchesTable1)
+{
+    const Workload w = makeMnistWorkload(300, 100, 1);
+    const mlp::MlpConfig config = defaultMlpConfig(w);
+    ASSERT_EQ(config.layerSizes.size(), 3u);
+    EXPECT_EQ(config.layerSizes[1], 100u);
+    const mlp::TrainConfig train = defaultMlpTrainConfig();
+    EXPECT_FLOAT_EQ(train.learningRate, 0.3f); // Table 1 eta.
+}
+
+TEST(Defaults, SnnConfigMatchesTable1Timing)
+{
+    const Workload w = makeMnistWorkload(300, 100, 1);
+    const snn::SnnConfig config = defaultSnnConfig(w, 300);
+    EXPECT_EQ(config.coding.periodMs, 500);     // Tperiod.
+    EXPECT_EQ(config.coding.minIntervalMs, 50); // 20 Hz at max lum.
+    EXPECT_DOUBLE_EQ(config.tLeakMs, 500.0);    // Tleak.
+    EXPECT_EQ(config.tInhibitMs, 5);            // Tinhibit.
+    EXPECT_EQ(config.tRefracMs, 20);            // Trefrac.
+    EXPECT_EQ(config.stdp.ltpWindowMs, 45);     // TLTP.
+    EXPECT_GT(config.initialThreshold, 1000.0);
+}
+
+TEST(Defaults, StdpStepScalesWithTrainingSetSize)
+{
+    const Workload w = makeMnistWorkload(300, 100, 1);
+    const snn::SnnConfig small = defaultSnnConfig(w, 1000);
+    const snn::SnnConfig large = defaultSnnConfig(w, 60000);
+    EXPECT_GT(small.stdp.ltpIncrement, large.stdp.ltpIncrement);
+    EXPECT_FLOAT_EQ(large.stdp.ltpIncrement, 1.0f); // paper's unit step.
+}
+
+TEST(PaperReferences, Table7HasFifteenConsistentRows)
+{
+    // Totals must equal noSRAM + the Table 6 SRAM areas for folded rows
+    // (sanity of the transcribed constants).
+    for (int i = 0; i < 15; ++i) {
+        const auto &row = paper::kTable7[i];
+        EXPECT_GE(row.totalAreaMm2, row.areaNoSramMm2);
+        EXPECT_GT(row.delayNs, 0.0);
+    }
+    EXPECT_NEAR(paper::kTable7[0].totalAreaMm2 -
+                    paper::kTable7[0].areaNoSramMm2,
+                paper::kTable6[0].snnAreaMm2, 0.01);
+}
+
+TEST(Reports, VsPaperFormatsDelta)
+{
+    const std::string s = vsPaper(110.0, 100.0, 1);
+    EXPECT_NE(s.find("paper 100.0"), std::string::npos);
+    EXPECT_NE(s.find("+10%"), std::string::npos);
+}
+
+} // namespace
+} // namespace core
+} // namespace neuro

@@ -1,0 +1,110 @@
+// Tests for fault injection into the quantized datapaths.
+
+#include <gtest/gtest.h>
+
+#include "neuro/common/rng.h"
+#include "neuro/core/faults.h"
+#include "neuro/datasets/synth_digits.h"
+#include "neuro/mlp/backprop.h"
+
+namespace neuro {
+namespace core {
+namespace {
+
+TEST(FaultModelNames, Distinct)
+{
+    EXPECT_STRNE(faultModelName(FaultModel::StuckAtZero),
+                 faultModelName(FaultModel::StuckAtOne));
+    EXPECT_STRNE(faultModelName(FaultModel::StuckAtOne),
+                 faultModelName(FaultModel::BitFlip));
+}
+
+TEST(QuantizedMlpFaultApi, FlatIndexingCoversAllLayers)
+{
+    mlp::MlpConfig config;
+    config.layerSizes = {6, 4, 2};
+    Rng rng(1);
+    const mlp::Mlp net(config, rng);
+    mlp::QuantizedMlp quant(net);
+    EXPECT_EQ(quant.totalWeights(), 7u * 4 + 5 * 2);
+    // Round-trip every address.
+    for (std::size_t i = 0; i < quant.totalWeights(); ++i) {
+        const int8_t before = quant.weightAt(i);
+        quant.setWeightAt(i, static_cast<int8_t>(before + 1));
+        EXPECT_EQ(quant.weightAt(i), static_cast<int8_t>(before + 1));
+        quant.setWeightAt(i, before);
+    }
+}
+
+class FaultSweepTest : public ::testing::TestWithParam<FaultModel>
+{
+  protected:
+    static const datasets::Split &
+    data()
+    {
+        static const datasets::Split split = [] {
+            datasets::SynthDigitsOptions opt;
+            opt.trainSize = 400;
+            opt.testSize = 120;
+            return datasets::makeSynthDigits(opt);
+        }();
+        return split;
+    }
+};
+
+TEST_P(FaultSweepTest, MlpDegradesGracefullyAndMonotonically)
+{
+    mlp::MlpConfig config;
+    config.layerSizes = {784, 12, 10};
+    Rng rng(2);
+    mlp::Mlp net(config, rng);
+    mlp::TrainConfig train;
+    train.epochs = 5;
+    mlp::train(net, data().train, train);
+
+    const auto points = mlpFaultSweep(net, data().test,
+                                      {0.0, 0.02, 0.5}, GetParam(), 11);
+    ASSERT_EQ(points.size(), 3u);
+    const double clean = points[0].accuracy;
+    EXPECT_GT(clean, 0.7);
+    // 2% faults cost little (graceful degradation)...
+    EXPECT_GT(points[1].accuracy, clean - 0.25);
+    // ...while 50% faults are clearly destructive for stuck-at-1.
+    if (GetParam() == FaultModel::StuckAtOne)
+        EXPECT_LT(points[2].accuracy, clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, FaultSweepTest,
+                         ::testing::Values(FaultModel::StuckAtZero,
+                                           FaultModel::StuckAtOne,
+                                           FaultModel::BitFlip));
+
+TEST(SnnFaultSweep, ZeroRateMatchesCleanAccuracy)
+{
+    snn::SnnConfig config;
+    config.numInputs = 784;
+    config.numNeurons = 10;
+    Rng rng(3);
+    snn::SnnNetwork net(config, rng);
+    std::vector<int> labels(10);
+    for (int i = 0; i < 10; ++i)
+        labels[static_cast<std::size_t>(i)] = i;
+
+    datasets::SynthDigitsOptions opt;
+    opt.trainSize = 1;
+    opt.testSize = 60;
+    const datasets::Split split = datasets::makeSynthDigits(opt);
+
+    const auto a =
+        snnFaultSweep(net, labels, split.test, {0.0}, FaultModel::BitFlip,
+                      5);
+    const auto b =
+        snnFaultSweep(net, labels, split.test, {0.0},
+                      FaultModel::StuckAtOne, 99);
+    // No faults injected: both runs measure the same clean accuracy.
+    EXPECT_DOUBLE_EQ(a[0].accuracy, b[0].accuracy);
+}
+
+} // namespace
+} // namespace core
+} // namespace neuro

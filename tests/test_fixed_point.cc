@@ -1,0 +1,104 @@
+// Tests for the saturating fixed-point arithmetic of the quantized
+// datapaths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "neuro/common/fixed_point.h"
+
+namespace neuro {
+namespace {
+
+TEST(FixedPoint, RoundTripWithinLsb)
+{
+    for (double v = -1.9; v < 1.9; v += 0.0137) {
+        const Weight8 w = Weight8::fromDouble(v);
+        EXPECT_NEAR(w.toDouble(), v, Weight8::lsb * 0.5 + 1e-12) << v;
+    }
+}
+
+TEST(FixedPoint, SaturatesAtRange)
+{
+    EXPECT_DOUBLE_EQ(Weight8::fromDouble(100.0).toDouble(),
+                     Weight8::rawMax * Weight8::lsb);
+    EXPECT_DOUBLE_EQ(Weight8::fromDouble(-100.0).toDouble(),
+                     Weight8::rawMin * Weight8::lsb);
+}
+
+TEST(FixedPoint, AdditionMatchesDouble)
+{
+    const Weight8 a = Weight8::fromDouble(0.5);
+    const Weight8 b = Weight8::fromDouble(0.25);
+    EXPECT_DOUBLE_EQ((a + b).toDouble(), 0.75);
+    EXPECT_DOUBLE_EQ((a - b).toDouble(), 0.25);
+}
+
+TEST(FixedPoint, AdditionSaturates)
+{
+    const Weight8 big = Weight8::fromDouble(1.9);
+    const Weight8 sum = big + big;
+    EXPECT_DOUBLE_EQ(sum.toDouble(), Weight8::rawMax * Weight8::lsb);
+    const Weight8 neg = Weight8::fromDouble(-1.9);
+    EXPECT_DOUBLE_EQ((neg + neg).toDouble(),
+                     Weight8::rawMin * Weight8::lsb);
+}
+
+TEST(FixedPoint, MultiplicationTruncates)
+{
+    const Weight8 a = Weight8::fromDouble(0.5);
+    const Weight8 b = Weight8::fromDouble(0.5);
+    EXPECT_DOUBLE_EQ((a * b).toDouble(), 0.25);
+}
+
+TEST(FixedPoint, ComparisonOrdering)
+{
+    const Weight8 a = Weight8::fromDouble(-0.5);
+    const Weight8 b = Weight8::fromDouble(0.25);
+    EXPECT_LT(a, b);
+    EXPECT_EQ(a, Weight8::fromDouble(-0.5));
+}
+
+/** Property sweep: q(x) + q(y) == q(x + y) when no rounding/overflow is
+ *  involved (values on the LSB grid, sums in range). */
+class FixedAddProperty
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(FixedAddProperty, ExactOnGrid)
+{
+    const auto [ra, rb] = GetParam();
+    const Weight8 a = Weight8::fromRaw(ra);
+    const Weight8 b = Weight8::fromRaw(rb);
+    const long expected =
+        std::clamp<long>(static_cast<long>(ra) + rb, Weight8::rawMin,
+                         Weight8::rawMax);
+    EXPECT_EQ((a + b).raw(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, FixedAddProperty,
+    ::testing::Values(std::make_pair(0, 0), std::make_pair(1, -1),
+                      std::make_pair(100, 27), std::make_pair(-128, -1),
+                      std::make_pair(127, 1), std::make_pair(-128, 127),
+                      std::make_pair(64, 64), std::make_pair(-100, -100)));
+
+TEST(FixedPoint, Weight12HasWiderRange)
+{
+    EXPECT_GT(Weight12::rawMax * Weight12::lsb,
+              Weight8::rawMax * Weight8::lsb);
+    EXPECT_DOUBLE_EQ(Weight12::lsb, Weight8::lsb);
+}
+
+TEST(FixedPoint, AccumulatorHoldsManyProducts)
+{
+    Accum24 acc;
+    const Accum24 step = Accum24::fromDouble(1.5);
+    for (int i = 0; i < 1000; ++i)
+        acc = acc + step;
+    EXPECT_NEAR(acc.toDouble(), 1500.0, 1e-6);
+}
+
+} // namespace
+} // namespace neuro

@@ -1,0 +1,73 @@
+// Tests for the GPU baseline model (Table 8).
+
+#include <gtest/gtest.h>
+
+#include "neuro/gpu/gpu_model.h"
+
+namespace neuro {
+namespace gpu {
+namespace {
+
+TEST(GpuModel, LaunchOverheadDominatesSmallLayers)
+{
+    const GpuParams params;
+    const GpuWorkload mlp = mlpWorkload(784, 100, 10);
+    const GpuCost cost = evaluate(params, mlp);
+    // 3 launches + 2 transfers + sync: fixed costs are most of it.
+    const double fixed = params.kernelLaunchUs * mlp.kernels +
+        params.transferLatencyUs * mlp.transfers + params.syncUs;
+    EXPECT_GT(fixed / cost.timeUs, 0.8);
+}
+
+TEST(GpuModel, CalibratedTimesInPaperRange)
+{
+    // Back-derived from Table 8: GPU per-image times for the three
+    // networks all land in ~50-90 us.
+    const GpuParams params;
+    const double mlp_us = evaluate(params, mlpWorkload(784, 100, 10)).timeUs;
+    const double wot_us = evaluate(params, snnWotWorkload(784, 300)).timeUs;
+    EXPECT_GT(mlp_us, 40.0);
+    EXPECT_LT(mlp_us, 120.0);
+    EXPECT_GT(wot_us, 40.0);
+    EXPECT_LT(wot_us, 120.0);
+}
+
+TEST(GpuModel, EnergyIsTimeTimesPower)
+{
+    const GpuParams params;
+    const GpuCost cost = evaluate(params, mlpWorkload(784, 100, 10));
+    EXPECT_DOUBLE_EQ(cost.energyUj, cost.timeUs * params.activePowerW);
+}
+
+TEST(GpuModel, SnnWtMuchSlowerThanSnnWot)
+{
+    const GpuParams params;
+    const double wot = evaluate(params, snnWotWorkload(784, 300)).timeUs;
+    const double wt =
+        evaluate(params, snnWtWorkload(784, 300, 500)).timeUs;
+    EXPECT_GT(wt, 1.5 * wot);
+}
+
+TEST(GpuModel, ScalesWithNetworkSize)
+{
+    const GpuParams params;
+    const double small =
+        evaluate(params, mlpWorkload(784, 100, 10)).timeUs;
+    const double large =
+        evaluate(params, mlpWorkload(784, 8000, 1000)).timeUs;
+    EXPECT_GT(large, small); // big layers leave the launch-bound regime.
+}
+
+TEST(GpuModel, WorkloadAccounting)
+{
+    const GpuWorkload w = mlpWorkload(784, 100, 10);
+    EXPECT_EQ(w.flops, 2u * (785 * 100 + 101 * 10));
+    EXPECT_EQ(w.kernels, 3);
+    EXPECT_EQ(w.transfers, 2);
+    const GpuWorkload s = snnWotWorkload(784, 300);
+    EXPECT_GT(s.flops, 2u * 784 * 300 - 1);
+}
+
+} // namespace
+} // namespace gpu
+} // namespace neuro

@@ -1,0 +1,119 @@
+// Tests for homeostatic threshold adaptation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "neuro/snn/homeostasis.h"
+#include "neuro/snn/lif.h"
+
+namespace neuro {
+namespace snn {
+namespace {
+
+HomeostasisConfig
+makeConfig()
+{
+    HomeostasisConfig config;
+    config.epochMs = 1000;
+    config.activityTarget = 5.0;
+    config.rate = 0.1;
+    config.downFactor = 1.0;
+    config.minThreshold = 1.0;
+    return config;
+}
+
+TEST(Homeostasis, NoAdjustmentBeforeEpochEnds)
+{
+    Homeostasis homeo(makeConfig());
+    std::vector<LifNeuron> neurons(2);
+    neurons[0].threshold = 100.0;
+    neurons[0].fireCount = 50;
+    EXPECT_EQ(homeo.advance(999, neurons.data(), 2), 0);
+    EXPECT_DOUBLE_EQ(neurons[0].threshold, 100.0);
+}
+
+TEST(Homeostasis, OveractiveNeuronPunished)
+{
+    Homeostasis homeo(makeConfig());
+    std::vector<LifNeuron> neurons(1);
+    neurons[0].threshold = 100.0;
+    neurons[0].fireCount = 50; // above target of 5.
+    EXPECT_EQ(homeo.advance(1000, neurons.data(), 1), 1);
+    EXPECT_DOUBLE_EQ(neurons[0].threshold, 110.0);
+    EXPECT_EQ(neurons[0].fireCount, 0u) << "counter must reset";
+}
+
+TEST(Homeostasis, SilentNeuronPromoted)
+{
+    Homeostasis homeo(makeConfig());
+    std::vector<LifNeuron> neurons(1);
+    neurons[0].threshold = 100.0;
+    neurons[0].fireCount = 0;
+    homeo.advance(1000, neurons.data(), 1);
+    EXPECT_DOUBLE_EQ(neurons[0].threshold, 90.0);
+}
+
+TEST(Homeostasis, ExactTargetUnchanged)
+{
+    Homeostasis homeo(makeConfig());
+    std::vector<LifNeuron> neurons(1);
+    neurons[0].threshold = 100.0;
+    neurons[0].fireCount = 5;
+    homeo.advance(1000, neurons.data(), 1);
+    EXPECT_DOUBLE_EQ(neurons[0].threshold, 100.0);
+}
+
+TEST(Homeostasis, DownFactorSlowsDecay)
+{
+    HomeostasisConfig config = makeConfig();
+    config.downFactor = 0.25;
+    Homeostasis homeo(config);
+    std::vector<LifNeuron> neurons(1);
+    neurons[0].threshold = 100.0;
+    neurons[0].fireCount = 0;
+    homeo.advance(1000, neurons.data(), 1);
+    EXPECT_DOUBLE_EQ(neurons[0].threshold, 97.5);
+}
+
+TEST(Homeostasis, FloorHolds)
+{
+    HomeostasisConfig config = makeConfig();
+    config.minThreshold = 50.0;
+    Homeostasis homeo(config);
+    std::vector<LifNeuron> neurons(1);
+    neurons[0].threshold = 51.0;
+    neurons[0].fireCount = 0;
+    for (int i = 0; i < 20; ++i)
+        homeo.advance(1000, neurons.data(), 1);
+    EXPECT_DOUBLE_EQ(neurons[0].threshold, 50.0);
+}
+
+TEST(Homeostasis, MultipleEpochBoundariesInOneAdvance)
+{
+    Homeostasis homeo(makeConfig());
+    std::vector<LifNeuron> neurons(1);
+    neurons[0].threshold = 100.0;
+    neurons[0].fireCount = 50;
+    // 2.5 epochs: two boundaries processed (the second epoch sees the
+    // reset counter, below target).
+    EXPECT_EQ(homeo.advance(2500, neurons.data(), 1), 2);
+    EXPECT_EQ(homeo.epochsProcessed(), 2);
+    EXPECT_NEAR(neurons[0].threshold, 110.0 * 0.9, 1e-9);
+}
+
+TEST(Homeostasis, DisabledIsNoOp)
+{
+    HomeostasisConfig config = makeConfig();
+    config.enabled = false;
+    Homeostasis homeo(config);
+    std::vector<LifNeuron> neurons(1);
+    neurons[0].threshold = 100.0;
+    neurons[0].fireCount = 99;
+    EXPECT_EQ(homeo.advance(10000, neurons.data(), 1), 0);
+    EXPECT_DOUBLE_EQ(neurons[0].threshold, 100.0);
+}
+
+} // namespace
+} // namespace snn
+} // namespace neuro

@@ -1,0 +1,122 @@
+// Property-style tests over the hardware composition: invariants that
+// must hold for arbitrary topologies and fold factors, plus the pooled
+// (few-hardware-neuron) folding generalization and the umbrella header.
+
+#include <gtest/gtest.h>
+
+#include "neuro/neuro.h" // also verifies the umbrella header compiles.
+
+namespace neuro {
+namespace hw {
+namespace {
+
+struct TopoCase
+{
+    std::size_t inputs;
+    std::size_t hidden;
+    std::size_t outputs;
+    std::size_t ni;
+};
+
+class FoldedInvariantTest : public ::testing::TestWithParam<TopoCase>
+{
+};
+
+TEST_P(FoldedInvariantTest, AreasEnergiesCyclesArePositiveAndConsistent)
+{
+    const auto [inputs, hidden, outputs, ni] = GetParam();
+    const MlpTopology mlp{inputs, hidden, outputs};
+    const SnnTopology snn{inputs, hidden * 3};
+
+    for (const Design &d :
+         {buildFoldedMlp(mlp, ni), buildFoldedSnnWot(snn, ni),
+          buildFoldedSnnWt(snn, ni, 100)}) {
+        EXPECT_GT(d.areaNoSramMm2(), 0.0) << d.name();
+        EXPECT_GT(d.sramAreaMm2(), 0.0) << d.name();
+        EXPECT_NEAR(d.totalAreaMm2(),
+                    d.areaNoSramMm2() + d.sramAreaMm2(), 1e-9)
+            << d.name();
+        EXPECT_GT(d.clockNs(), 0.0) << d.name();
+        EXPECT_GT(d.cyclesPerImage(), 0u) << d.name();
+        EXPECT_GT(d.totalEnergyPerImageUj(), 0.0) << d.name();
+        EXPECT_GE(d.totalEnergyPerImageUj(), d.energyPerImageUj())
+            << d.name();
+        EXPECT_GT(d.powerW(), 0.0) << d.name();
+    }
+}
+
+TEST_P(FoldedInvariantTest, MoreParallelismFewerCycles)
+{
+    const auto [inputs, hidden, outputs, ni] = GetParam();
+    const MlpTopology mlp{inputs, hidden, outputs};
+    if (ni >= 2) {
+        EXPECT_LE(foldedMlpCycles(mlp, ni),
+                  foldedMlpCycles(mlp, ni / 2));
+    }
+    EXPECT_GE(foldedMlpCycles(mlp, ni), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, FoldedInvariantTest,
+    ::testing::Values(TopoCase{784, 100, 10, 1},
+                      TopoCase{784, 100, 10, 16},
+                      TopoCase{169, 60, 10, 4},
+                      TopoCase{169, 60, 10, 8},
+                      TopoCase{784, 15, 10, 2},
+                      TopoCase{1024, 256, 32, 16},
+                      TopoCase{64, 8, 4, 1},
+                      TopoCase{64, 8, 4, 32}));
+
+TEST(PooledFolding, SpecialCaseMatchesStandardDesign)
+{
+    const MlpTopology mlp{784, 100, 10};
+    // hw_neurons >= widest layer: one pass per layer, same cycles as
+    // the Table 7 design.
+    EXPECT_EQ(foldedMlpPooledCycles(mlp, 16, 100),
+              foldedMlpCycles(mlp, 16));
+}
+
+TEST(PooledFolding, FewerNeuronsMorePassesSmallerLogic)
+{
+    const MlpTopology mlp{784, 100, 10};
+    const Design full = buildFoldedMlpPooled(mlp, 16, 100);
+    const Design quarter = buildFoldedMlpPooled(mlp, 16, 25);
+    const Design tiny = buildFoldedMlpPooled(mlp, 16, 5);
+    // Logic shrinks with the pool...
+    EXPECT_GT(full.areaNoSramMm2(), quarter.areaNoSramMm2());
+    EXPECT_GT(quarter.areaNoSramMm2(), tiny.areaNoSramMm2());
+    // ...while cycles grow.
+    EXPECT_LT(full.cyclesPerImage(), quarter.cyclesPerImage());
+    EXPECT_LT(quarter.cyclesPerImage(), tiny.cyclesPerImage());
+    // The per-image MAC work is constant: energy stays the same order.
+    EXPECT_NEAR(tiny.energyPerImageUj() / full.energyPerImageUj(), 1.0,
+                0.9);
+}
+
+TEST(PooledFolding, CycleFormula)
+{
+    const MlpTopology mlp{784, 100, 10};
+    // 25-neuron pool: hidden needs 4 passes of (49+1), output 1 pass of
+    // (7+1) at ni=16.
+    EXPECT_EQ(foldedMlpPooledCycles(mlp, 16, 25), 4u * 50 + 1 * 8);
+}
+
+TEST(UmbrellaHeader, VersionDefined)
+{
+    EXPECT_EQ(NEURO_VERSION_MAJOR, 1);
+}
+
+TEST(DesignComposition, OperatorBreakdownSumsToTotal)
+{
+    const Design d = buildFoldedSnnWot({784, 300}, 8);
+    double groups_um2 = 0.0;
+    for (const auto &g : d.groups())
+        groups_um2 += g.totalAreaUm2();
+    // Groups + register area = logic area.
+    EXPECT_LE(groups_um2 / 1e6, d.areaNoSramMm2());
+    EXPECT_GT(groups_um2 / 1e6, d.areaNoSramMm2() * 0.5);
+}
+
+} // namespace
+} // namespace hw
+} // namespace neuro

@@ -1,0 +1,114 @@
+// Tests for the MNIST IDX loader's success path, using tiny valid IDX
+// files generated on the fly.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "neuro/datasets/idx_loader.h"
+
+namespace neuro {
+namespace datasets {
+namespace {
+
+void
+writeU32(std::ofstream &out, uint32_t v)
+{
+    const unsigned char bytes[4] = {
+        static_cast<unsigned char>(v >> 24),
+        static_cast<unsigned char>(v >> 16),
+        static_cast<unsigned char>(v >> 8),
+        static_cast<unsigned char>(v)};
+    out.write(reinterpret_cast<const char *>(bytes), 4);
+}
+
+void
+writeImages(const std::string &path, uint32_t count, uint32_t rows,
+            uint32_t cols, uint8_t fill)
+{
+    std::ofstream out(path, std::ios::binary);
+    writeU32(out, 0x00000803);
+    writeU32(out, count);
+    writeU32(out, rows);
+    writeU32(out, cols);
+    for (uint32_t i = 0; i < count * rows * cols; ++i)
+        out.put(static_cast<char>(fill + i % 7));
+}
+
+void
+writeLabels(const std::string &path, uint32_t count, int modulo)
+{
+    std::ofstream out(path, std::ios::binary);
+    writeU32(out, 0x00000801);
+    writeU32(out, count);
+    for (uint32_t i = 0; i < count; ++i)
+        out.put(static_cast<char>(i % static_cast<uint32_t>(modulo)));
+}
+
+class IdxFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = "/tmp/neuro_idx_test";
+        std::filesystem::create_directories(dir_);
+        writeImages(dir_ + "/train-images-idx3-ubyte", 12, 4, 4, 10);
+        writeLabels(dir_ + "/train-labels-idx1-ubyte", 12, 10);
+        writeImages(dir_ + "/t10k-images-idx3-ubyte", 5, 4, 4, 50);
+        writeLabels(dir_ + "/t10k-labels-idx1-ubyte", 5, 10);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::string dir_;
+};
+
+TEST_F(IdxFixture, LoadsFullFiles)
+{
+    Split split;
+    ASSERT_TRUE(loadMnistIdx(dir_, 0, 0, split));
+    EXPECT_EQ(split.train.size(), 12u);
+    EXPECT_EQ(split.test.size(), 5u);
+    EXPECT_EQ(split.train.width(), 4u);
+    EXPECT_EQ(split.train.height(), 4u);
+    EXPECT_EQ(split.train[0].label, 0);
+    EXPECT_EQ(split.train[3].label, 3);
+    EXPECT_EQ(split.train[0].pixels[0], 10);
+}
+
+TEST_F(IdxFixture, TruncatesToRequestedSizes)
+{
+    Split split;
+    ASSERT_TRUE(loadMnistIdx(dir_, 7, 3, split));
+    EXPECT_EQ(split.train.size(), 7u);
+    EXPECT_EQ(split.test.size(), 3u);
+}
+
+TEST_F(IdxFixture, RejectsCorruptMagic)
+{
+    // Corrupt the training images magic number.
+    std::ofstream out(dir_ + "/train-images-idx3-ubyte",
+                      std::ios::binary);
+    writeU32(out, 0xdeadbeef);
+    out.close();
+    Split split;
+    EXPECT_FALSE(loadMnistIdx(dir_, 0, 0, split));
+}
+
+TEST_F(IdxFixture, RejectsOutOfRangeLabels)
+{
+    writeLabels(dir_ + "/train-labels-idx1-ubyte", 12, 100); // >9.
+    Split split;
+    EXPECT_FALSE(loadMnistIdx(dir_, 0, 0, split));
+}
+
+} // namespace
+} // namespace datasets
+} // namespace neuro

@@ -1,0 +1,68 @@
+// Tests for the self-labeling pass (Section 2.2).
+
+#include <gtest/gtest.h>
+
+#include "neuro/snn/labeling.h"
+
+namespace neuro {
+namespace snn {
+namespace {
+
+TEST(SelfLabeling, UnfiredNeuronsGetNoLabel)
+{
+    SelfLabeling labeling(3, 2);
+    labeling.record(0, 1);
+    const auto labels = labeling.finalize({10, 10});
+    EXPECT_EQ(labels[0], 1);
+    EXPECT_EQ(labels[1], -1);
+    EXPECT_EQ(labels[2], -1);
+}
+
+TEST(SelfLabeling, HighestCounterWins)
+{
+    SelfLabeling labeling(1, 3);
+    for (int i = 0; i < 3; ++i)
+        labeling.record(0, 0);
+    for (int i = 0; i < 5; ++i)
+        labeling.record(0, 2);
+    const auto labels = labeling.finalize({10, 10, 10});
+    EXPECT_EQ(labels[0], 2);
+}
+
+TEST(SelfLabeling, ScoresNormalizedByClassFrequency)
+{
+    // 4 wins of an over-represented class vs 3 wins of a rare class:
+    // the normalized score must prefer the rare class
+    // (4/100 = 0.04 < 3/10 = 0.3).
+    SelfLabeling labeling(1, 2);
+    for (int i = 0; i < 4; ++i)
+        labeling.record(0, 0);
+    for (int i = 0; i < 3; ++i)
+        labeling.record(0, 1);
+    const auto labels = labeling.finalize({100, 10});
+    EXPECT_EQ(labels[0], 1);
+}
+
+TEST(SelfLabeling, CountersAccessible)
+{
+    SelfLabeling labeling(2, 2);
+    labeling.record(1, 0);
+    labeling.record(1, 0);
+    EXPECT_EQ(labeling.counter(1, 0), 2u);
+    EXPECT_EQ(labeling.counter(1, 1), 0u);
+    EXPECT_EQ(labeling.counter(0, 0), 0u);
+}
+
+TEST(SelfLabeling, ZeroFrequencyClassIgnored)
+{
+    SelfLabeling labeling(1, 2);
+    labeling.record(0, 0);
+    // Class 0 has zero training images recorded in label_counts: its
+    // score is undefined and must be skipped.
+    const auto labels = labeling.finalize({0, 10});
+    EXPECT_EQ(labels[0], -1);
+}
+
+} // namespace
+} // namespace snn
+} // namespace neuro

@@ -1,0 +1,99 @@
+// Tests for the LIF neuron: the closed-form leak the hardware uses
+// (Section 2.2) against the reference discrete integration, plus the
+// per-neuron state machine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "neuro/snn/lif.h"
+
+namespace neuro {
+namespace snn {
+namespace {
+
+TEST(LifDecay, MatchesAnalyticExpression)
+{
+    EXPECT_NEAR(lifDecay(100.0, 500.0, 500.0), 100.0 * std::exp(-1.0),
+                1e-9);
+    EXPECT_DOUBLE_EQ(lifDecay(42.0, 0.0, 500.0), 42.0);
+}
+
+class LeakEquivalenceTest
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(LeakEquivalenceTest, DiscreteConvergesToClosedForm)
+{
+    const auto [dt, tleak] = GetParam();
+    const double exact = lifDecay(1000.0, dt, tleak);
+    const double coarse = lifDecayDiscrete(1000.0, dt, tleak, 10);
+    const double fine = lifDecayDiscrete(1000.0, dt, tleak, 10000);
+    // The paper replaces per-timestep integration by the closed form;
+    // the discrete simulation must converge to it as steps increase.
+    EXPECT_NEAR(fine, exact, std::fabs(exact) * 1e-3 + 1e-6);
+    EXPECT_LT(std::fabs(fine - exact), std::fabs(coarse - exact) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LeakEquivalenceTest,
+    ::testing::Values(std::make_pair(1.0, 500.0),
+                      std::make_pair(50.0, 500.0),
+                      std::make_pair(500.0, 500.0),
+                      std::make_pair(45.0, 50.0),
+                      std::make_pair(200.0, 10.0)));
+
+TEST(LifNeuron, DecayToAdvancesClock)
+{
+    LifNeuron n;
+    n.potential = 100.0;
+    n.lastUpdateMs = 0;
+    n.decayTo(500, 500.0);
+    EXPECT_NEAR(n.potential, 100.0 * std::exp(-1.0), 1e-9);
+    EXPECT_EQ(n.lastUpdateMs, 500);
+    // Decaying to the past is a no-op.
+    n.decayTo(100, 500.0);
+    EXPECT_EQ(n.lastUpdateMs, 500);
+}
+
+TEST(LifNeuron, FireResetsAndCounts)
+{
+    LifNeuron n;
+    n.threshold = 10.0;
+    n.integrate(11.0);
+    EXPECT_TRUE(n.shouldFire());
+    n.fire(100, 20);
+    EXPECT_DOUBLE_EQ(n.potential, 0.0);
+    EXPECT_EQ(n.lastFireMs, 100);
+    EXPECT_EQ(n.refractoryUntil, 120);
+    EXPECT_EQ(n.fireCount, 1u);
+    EXPECT_TRUE(n.gated(110));
+    EXPECT_FALSE(n.gated(120));
+}
+
+TEST(LifNeuron, InhibitionGates)
+{
+    LifNeuron n;
+    n.inhibitedUntil = 50;
+    EXPECT_TRUE(n.gated(49));
+    EXPECT_FALSE(n.gated(50));
+}
+
+TEST(LifNeuron, ResetDynamicsKeepsThresholdAndFireCount)
+{
+    LifNeuron n;
+    n.threshold = 123.0;
+    n.fireCount = 7;
+    n.potential = 55.0;
+    n.refractoryUntil = 99;
+    n.resetDynamics();
+    EXPECT_DOUBLE_EQ(n.potential, 0.0);
+    EXPECT_EQ(n.refractoryUntil, -1);
+    EXPECT_DOUBLE_EQ(n.threshold, 123.0);
+    EXPECT_EQ(n.fireCount, 7u);
+}
+
+} // namespace
+} // namespace snn
+} // namespace neuro

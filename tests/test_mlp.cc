@@ -1,0 +1,147 @@
+// Tests for the MLP forward path and back-propagation trainer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "neuro/common/rng.h"
+#include "neuro/datasets/synth_digits.h"
+#include "neuro/mlp/backprop.h"
+#include "neuro/mlp/mlp.h"
+
+namespace neuro {
+namespace mlp {
+namespace {
+
+TEST(Mlp, ForwardMatchesManualComputation)
+{
+    MlpConfig config;
+    config.layerSizes = {2, 2, 1};
+    Rng rng(1);
+    Mlp net(config, rng);
+    // Overwrite weights with known values. Layer 0: 2x3 (bias last).
+    Matrix &w0 = net.weights(0);
+    w0(0, 0) = 1.0f;
+    w0(0, 1) = -1.0f;
+    w0(0, 2) = 0.0f;
+    w0(1, 0) = 0.5f;
+    w0(1, 1) = 0.5f;
+    w0(1, 2) = 0.25f;
+    Matrix &w1 = net.weights(1);
+    w1(0, 0) = 2.0f;
+    w1(0, 1) = -2.0f;
+    w1(0, 2) = 0.5f;
+
+    const float x[2] = {1.0f, 0.5f};
+    float out[1];
+    net.forward(x, out);
+
+    auto sig = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+    const float h0 = sig(1.0f * 1 + (-1.0f) * 0.5f + 0.0f);
+    const float h1 = sig(0.5f * 1 + 0.5f * 0.5f + 0.25f);
+    const float expected = sig(2.0f * h0 - 2.0f * h1 + 0.5f);
+    EXPECT_NEAR(out[0], expected, 1e-6f);
+}
+
+TEST(Mlp, ForwardTraceMatchesForward)
+{
+    MlpConfig config;
+    config.layerSizes = {5, 4, 3};
+    Rng rng(2);
+    Mlp net(config, rng);
+    std::vector<float> x = {0.1f, 0.9f, 0.3f, 0.0f, 1.0f};
+    std::vector<float> out(3);
+    net.forward(x.data(), out.data());
+    std::vector<std::vector<float>> acts;
+    net.forwardTrace(x.data(), acts);
+    ASSERT_EQ(acts.size(), 3u);
+    ASSERT_EQ(acts[2].size(), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(acts[2][static_cast<std::size_t>(i)],
+                        out[static_cast<std::size_t>(i)]);
+}
+
+TEST(Mlp, WeightCountMatchesTopology)
+{
+    MlpConfig config;
+    config.layerSizes = {784, 100, 10};
+    Rng rng(3);
+    const Mlp net(config, rng);
+    EXPECT_EQ(net.weightCount(), 785u * 100 + 101 * 10);
+}
+
+TEST(Backprop, ReducesTrainingError)
+{
+    // Tiny 2-class problem: bright-left vs bright-right 4x1 images.
+    datasets::Dataset data("toy", 4, 1, 2);
+    Rng gen(5);
+    for (int i = 0; i < 120; ++i) {
+        datasets::Sample s;
+        const bool left = (i % 2) == 0;
+        s.label = left ? 0 : 1;
+        s.pixels = {static_cast<uint8_t>(left ? 200 + gen.uniformInt(55)
+                                              : gen.uniformInt(40)),
+                    static_cast<uint8_t>(gen.uniformInt(60)),
+                    static_cast<uint8_t>(gen.uniformInt(60)),
+                    static_cast<uint8_t>(left ? gen.uniformInt(40)
+                                              : 200 + gen.uniformInt(55))};
+        data.add(std::move(s));
+    }
+
+    MlpConfig config;
+    config.layerSizes = {4, 6, 2};
+    Rng rng(6);
+    Mlp net(config, rng);
+    std::vector<double> errors;
+    TrainConfig train;
+    train.epochs = 20;
+    train.learningRate = 0.5f;
+    mlp::train(net, data, train, [&](const EpochReport &r) {
+        errors.push_back(r.trainError);
+    });
+    ASSERT_EQ(errors.size(), 20u);
+    EXPECT_LT(errors.back(), errors.front() * 0.5);
+    EXPECT_GT(evaluate(net, data), 0.95);
+}
+
+TEST(Backprop, LearnsSmallDigitTask)
+{
+    datasets::SynthDigitsOptions opt;
+    opt.trainSize = 600;
+    opt.testSize = 150;
+    const datasets::Split split = datasets::makeSynthDigits(opt);
+    MlpConfig config;
+    config.layerSizes = {784, 30, 10};
+    TrainConfig train;
+    train.epochs = 8;
+    const double acc =
+        trainAndEvaluate(config, train, split.train, split.test, 9);
+    EXPECT_GT(acc, 0.8) << "MLP failed to learn digits";
+}
+
+class HiddenSizeTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(HiddenSizeTest, AnyTopologyTrainsAboveChance)
+{
+    datasets::SynthDigitsOptions opt;
+    opt.trainSize = 300;
+    opt.testSize = 100;
+    const datasets::Split split = datasets::makeSynthDigits(opt);
+    MlpConfig config;
+    config.layerSizes = {784, GetParam(), 10};
+    TrainConfig train;
+    train.epochs = 5;
+    const double acc =
+        trainAndEvaluate(config, train, split.train, split.test, 10);
+    EXPECT_GT(acc, 0.4) << "hidden=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HiddenSizeTest,
+                         ::testing::Values(5u, 10u, 25u, 50u));
+
+} // namespace
+} // namespace mlp
+} // namespace neuro

@@ -1,0 +1,188 @@
+// Tests for the single-layer WTA spiking network.
+
+#include <gtest/gtest.h>
+
+#include "neuro/common/rng.h"
+#include "neuro/snn/network.h"
+
+namespace neuro {
+namespace snn {
+namespace {
+
+SnnConfig
+tinyConfig()
+{
+    SnnConfig config;
+    config.numInputs = 4;
+    config.numNeurons = 3;
+    config.coding.periodMs = 100;
+    config.coding.minIntervalMs = 10;
+    config.tLeakMs = 100.0;
+    config.tInhibitMs = 5;
+    config.tRefracMs = 20;
+    config.initialThreshold = 150.0;
+    config.thresholdJitter = 0.0;
+    config.homeostasis.enabled = false;
+    config.wInitMin = 100.0f;
+    config.wInitMax = 100.0f;
+    return config;
+}
+
+SpikeTrainGrid
+gridWithSpikes(int period,
+               const std::vector<std::pair<int, uint16_t>> &spikes)
+{
+    SpikeTrainGrid grid;
+    grid.ticks.resize(static_cast<std::size_t>(period));
+    for (const auto &[t, p] : spikes)
+        grid.ticks[static_cast<std::size_t>(t)].push_back(p);
+    return grid;
+}
+
+TEST(SnnNetwork, IntegratesWeightsOnSpikes)
+{
+    Rng rng(1);
+    SnnNetwork net(tinyConfig(), rng);
+    // Two spikes on input 0 at t=0: each neuron integrates w = 100,
+    // staying below threshold 150 until the second spike fires one.
+    const auto grid =
+        gridWithSpikes(100, {{0, 0}, {10, 0}});
+    const auto result = net.presentImage(grid, false);
+    EXPECT_EQ(result.inputSpikeCount, 2u);
+    EXPECT_EQ(result.outputSpikeCount, 1u);
+    EXPECT_GE(result.firstSpikeNeuron, 0);
+    EXPECT_EQ(result.firstSpikeTimeMs, 10);
+}
+
+TEST(SnnNetwork, OnlyOneNeuronFiresPerTick)
+{
+    Rng rng(2);
+    SnnConfig config = tinyConfig();
+    config.tInhibitMs = 50; // long inhibition: one fire total.
+    SnnNetwork net(config, rng);
+    const auto grid = gridWithSpikes(100, {{0, 0}, {0, 1}, {0, 2}});
+    // Drive = 300 > threshold for every neuron simultaneously; the WTA
+    // must pick exactly one.
+    const auto result = net.presentImage(grid, false);
+    EXPECT_EQ(result.outputSpikeCount, 1u);
+}
+
+TEST(SnnNetwork, WtaResetZeroesPeers)
+{
+    Rng rng(3);
+    SnnConfig config = tinyConfig();
+    config.wtaReset = true;
+    SnnNetwork net(config, rng);
+    // Make neuron 0 strictly stronger so it wins.
+    net.weights()(0, 0) = 200.0f;
+    const auto grid = gridWithSpikes(100, {{0, 0}, {1, 0}});
+    net.presentImage(grid, false);
+    // After the presentation, losers' potentials were reset at the
+    // firing tick; they only hold what arrived afterwards.
+    EXPECT_LT(net.neurons()[1].potential, 150.0);
+}
+
+TEST(SnnNetwork, RefractoryNeuronIgnoresInput)
+{
+    Rng rng(4);
+    SnnConfig config = tinyConfig();
+    config.numNeurons = 1;
+    SnnNetwork net(config, rng);
+    const auto grid = gridWithSpikes(
+        100, {{0, 0}, {0, 1}, {5, 0}, {40, 0}, {40, 1}});
+    // Fires at t=0 (drive 200 > 150); the t=5 spike lands inside the
+    // 20 ms refractory window and must be ignored; t=40 integrates again.
+    const auto result = net.presentImage(grid, false);
+    EXPECT_EQ(result.outputSpikeCount, 2u);
+    EXPECT_EQ(result.firstSpikeTimeMs, 0);
+}
+
+TEST(SnnNetwork, LeakReducesPotentialBetweenSpikes)
+{
+    Rng rng(5);
+    SnnConfig config = tinyConfig();
+    config.initialThreshold = 1000.0; // never fires.
+    SnnNetwork net(config, rng);
+    const auto near_grid = gridWithSpikes(100, {{0, 0}, {1, 1}});
+    const auto far_grid = gridWithSpikes(100, {{0, 0}, {99, 1}});
+    net.presentImage(near_grid, false);
+    const double near_pot = net.neurons()[0].potential;
+    net.presentImage(far_grid, false);
+    const double far_pot = net.neurons()[0].potential;
+    // Potentials are both decayed to the window end; the early pair has
+    // decayed longer, so with equal total drive the end potential is
+    // *smaller* for the near pair... Check the opposite: sample right
+    // after the second spike via a trace instead.
+    EXPECT_GT(near_pot, 0.0);
+    EXPECT_GT(far_pot, 0.0);
+    // At the end of the window, the far grid's second spike is fresher.
+    EXPECT_GT(far_pot, near_pot);
+}
+
+TEST(SnnNetwork, ForwardCountsPicksLargestDotProduct)
+{
+    Rng rng(6);
+    SnnConfig config = tinyConfig();
+    SnnNetwork net(config, rng);
+    net.weights().fill(0.0f);
+    net.weights()(1, 2) = 50.0f; // neuron 1 keyed to input 2.
+    const std::vector<uint8_t> counts = {0, 0, 7, 0};
+    std::vector<double> potentials;
+    EXPECT_EQ(net.forwardCounts(counts.data(), &potentials), 1);
+    EXPECT_DOUBLE_EQ(potentials[1], 350.0);
+    EXPECT_DOUBLE_EQ(potentials[0], 0.0);
+}
+
+TEST(SnnNetwork, TraceRecordsRasterAndPotentials)
+{
+    Rng rng(7);
+    SnnNetwork net(tinyConfig(), rng);
+    const auto grid = gridWithSpikes(100, {{3, 1}, {20, 0}, {21, 0}});
+    PresentationTrace trace;
+    trace.neuronLimit = 2;
+    const auto result = net.presentImage(grid, false, &trace);
+    EXPECT_EQ(trace.inputSpikes.size(), 3u);
+    EXPECT_EQ(trace.potentials.size(), 100u);
+    EXPECT_EQ(trace.potentials[0].size(), 2u);
+    EXPECT_EQ(trace.outputSpikes.size(), result.outputSpikeCount);
+}
+
+TEST(SnnNetwork, ThresholdJitterSpreadsThresholds)
+{
+    Rng rng(8);
+    SnnConfig config = tinyConfig();
+    config.numNeurons = 50;
+    config.thresholdJitter = 0.1;
+    SnnNetwork net(config, rng);
+    double lo = 1e18, hi = 0;
+    for (const auto &n : net.neurons()) {
+        lo = std::min(lo, n.threshold);
+        hi = std::max(hi, n.threshold);
+    }
+    EXPECT_GT(hi - lo, 1.0);
+    EXPECT_NEAR(lo, config.initialThreshold, config.initialThreshold * 0.06);
+}
+
+TEST(PresentationResult, WinnerFallsBackToMaxPotential)
+{
+    PresentationResult result;
+    result.firstSpikeNeuron = -1;
+    result.maxPotentialNeuron = 4;
+    EXPECT_EQ(result.winner(Readout::FirstSpike), 4);
+    result.firstSpikeNeuron = 2;
+    EXPECT_EQ(result.winner(Readout::FirstSpike), 2);
+    EXPECT_EQ(result.winner(Readout::MaxPotential), 4);
+}
+
+TEST(PresentationResult, MaxSpikeCountReadout)
+{
+    PresentationResult result;
+    result.spikeCountPerNeuron = {1, 5, 3};
+    result.outputSpikeCount = 9;
+    result.maxPotentialNeuron = 0;
+    EXPECT_EQ(result.winner(Readout::MaxSpikeCount), 1);
+}
+
+} // namespace
+} // namespace snn
+} // namespace neuro

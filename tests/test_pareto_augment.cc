@@ -1,0 +1,123 @@
+// Tests for the Pareto design-space analysis and dataset augmentation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "neuro/common/rng.h"
+#include "neuro/datasets/augment.h"
+#include "neuro/datasets/synth_digits.h"
+#include "neuro/hw/pareto.h"
+
+namespace neuro {
+namespace {
+
+TEST(Pareto, DominationRules)
+{
+    hw::DesignPoint a{"a", 1.0, 1.0, 1.0};
+    hw::DesignPoint b{"b", 2.0, 2.0, 2.0};
+    hw::DesignPoint c{"c", 1.0, 1.0, 1.0};
+    hw::DesignPoint d{"d", 0.5, 3.0, 1.0};
+    EXPECT_TRUE(a.dominates(b));
+    EXPECT_FALSE(b.dominates(a));
+    EXPECT_FALSE(a.dominates(c)) << "equal points do not dominate";
+    EXPECT_FALSE(a.dominates(d)) << "trade-off points do not dominate";
+    EXPECT_FALSE(d.dominates(a));
+}
+
+TEST(Pareto, FrontierOnSyntheticPoints)
+{
+    std::vector<hw::DesignPoint> points = {
+        {"cheap-slow", 1.0, 1.0, 100.0},
+        {"mid", 5.0, 0.5, 10.0},
+        {"fast-big", 50.0, 0.2, 1.0},
+        {"dominated", 6.0, 0.6, 11.0}, // worse than "mid" everywhere.
+        {"duplicate", 1.0, 1.0, 100.0},
+    };
+    const auto frontier = hw::paretoFrontier(points);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(points[frontier[0]].label, "cheap-slow");
+    EXPECT_EQ(points[frontier[1]].label, "mid");
+    EXPECT_EQ(points[frontier[2]].label, "fast-big");
+}
+
+TEST(Pareto, RealDesignSpaceHasFoldedMlpOnFrontier)
+{
+    const auto points =
+        hw::enumerateDesigns({784, 100, 10}, {784, 300});
+    const auto frontier = hw::paretoFrontier(points);
+    ASSERT_FALSE(frontier.empty());
+    // The cheapest frontier point is a folded MLP (Section 4.3.3), and
+    // no timed SNNwt design survives.
+    EXPECT_NE(points[frontier.front()].label.find("MLP"),
+              std::string::npos);
+    for (std::size_t idx : frontier) {
+        EXPECT_EQ(points[idx].label.find("SNNwt"), std::string::npos)
+            << points[idx].label;
+    }
+}
+
+TEST(Augment, IdentityWarpPreservesImage)
+{
+    datasets::SynthDigitsOptions opt;
+    opt.trainSize = 1;
+    opt.testSize = 1;
+    const auto split = datasets::makeSynthDigits(opt);
+    const auto &img = split.train[0].pixels;
+    Rng rng(1);
+    const auto warped = datasets::warpImage(img, 28, 28, 0.0f, 1.0f,
+                                            0.0f, 0.0f, 0.0f, 0.0f, rng);
+    EXPECT_EQ(warped, img);
+}
+
+TEST(Augment, TranslationMovesMass)
+{
+    std::vector<uint8_t> img(28 * 28, 0);
+    img[14 * 28 + 14] = 255; // single bright pixel at the centre.
+    Rng rng(2);
+    const auto warped = datasets::warpImage(img, 28, 28, 0.0f, 1.0f,
+                                            0.0f, 3.0f, 0.0f, 0.0f, rng);
+    EXPECT_EQ(warped[14 * 28 + 17], 255) << "pixel should move +3 in x";
+    EXPECT_EQ(warped[14 * 28 + 14], 0);
+}
+
+TEST(Augment, DatasetGrowsAndKeepsLabels)
+{
+    datasets::SynthDigitsOptions opt;
+    opt.trainSize = 20;
+    opt.testSize = 1;
+    const auto split = datasets::makeSynthDigits(opt);
+    datasets::AugmentOptions aug;
+    const auto bigger = datasets::augment(split.train, 2, aug, 9);
+    EXPECT_EQ(bigger.size(), 60u);
+    // Originals come first per sample; labels preserved on copies.
+    for (std::size_t i = 0; i < split.train.size(); ++i) {
+        EXPECT_EQ(bigger[i * 3].label, split.train[i].label);
+        EXPECT_EQ(bigger[i * 3 + 1].label, split.train[i].label);
+        EXPECT_EQ(bigger[i * 3 + 2].label, split.train[i].label);
+        EXPECT_EQ(bigger[i * 3].pixels, split.train[i].pixels);
+    }
+}
+
+TEST(Augment, DeterministicPerSeed)
+{
+    datasets::SynthDigitsOptions opt;
+    opt.trainSize = 5;
+    opt.testSize = 1;
+    const auto split = datasets::makeSynthDigits(opt);
+    datasets::AugmentOptions aug;
+    const auto a = datasets::augment(split.train, 1, aug, 42);
+    const auto b = datasets::augment(split.train, 1, aug, 42);
+    const auto c = datasets::augment(split.train, 1, aug, 43);
+    ASSERT_EQ(a.size(), b.size());
+    bool any_diff_c = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].pixels, b[i].pixels);
+        if (a[i].pixels != c[i].pixels)
+            any_diff_c = true;
+    }
+    EXPECT_TRUE(any_diff_c);
+}
+
+} // namespace
+} // namespace neuro

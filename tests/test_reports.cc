@@ -1,0 +1,117 @@
+// Tests for the report helpers and the transcribed paper constants
+// (catching transcription regressions in the reference tables).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "neuro/core/reports.h"
+
+namespace neuro {
+namespace core {
+namespace {
+
+TEST(PaperConstants, Table2CoversTheComparedFamilies)
+{
+    bool has_mlp = false, has_snn = false;
+    for (const auto &row : paper::kTable2) {
+        ASSERT_GT(row.accuracyPct, 80.0);
+        ASSERT_LE(row.accuracyPct, 100.0);
+        if (std::string(row.type).find("MLP") != std::string::npos)
+            has_mlp = true;
+        if (std::string(row.type).find("SNN") != std::string::npos)
+            has_snn = true;
+    }
+    EXPECT_TRUE(has_mlp);
+    EXPECT_TRUE(has_snn);
+}
+
+TEST(PaperConstants, Table3OrderingIsThePapersHeadline)
+{
+    EXPECT_GT(paper::kMlpBpAccuracyPct, paper::kSnnBpAccuracyPct);
+    EXPECT_GT(paper::kSnnBpAccuracyPct, paper::kSnnWtAccuracyPct);
+    EXPECT_GT(paper::kSnnWtAccuracyPct, paper::kSnnWotAccuracyPct);
+    // The 5.83% gap quoted in Section 3.1.
+    EXPECT_NEAR(paper::kMlpBpAccuracyPct - paper::kSnnWtAccuracyPct,
+                5.83, 0.01);
+}
+
+TEST(PaperConstants, Table6RowsScaleWithNi)
+{
+    // More parallel ports -> more banks for the same storage.
+    for (int i = 1; i < 4; ++i) {
+        EXPECT_GE(paper::kTable6[i].snnBanks,
+                  paper::kTable6[i - 1].snnBanks);
+        EXPECT_GE(paper::kTable6[i].mlpBanks,
+                  paper::kTable6[i - 1].mlpBanks);
+        EXPECT_LE(paper::kTable6[i].depth, paper::kTable6[i - 1].depth);
+    }
+    // SNN always needs ~3x the MLP storage (235,200 vs 79,400 weights).
+    for (const auto &row : paper::kTable6) {
+        EXPECT_GT(row.snnAreaMm2, row.mlpAreaMm2 * 2.0);
+        EXPECT_LT(row.snnAreaMm2, row.mlpAreaMm2 * 3.2);
+    }
+}
+
+TEST(PaperConstants, Table7GroupsAndRanges)
+{
+    int snnwot = 0, snnwt = 0, mlp = 0;
+    for (const auto &row : paper::kTable7) {
+        if (std::string(row.type) == "SNNwot")
+            ++snnwot;
+        else if (std::string(row.type) == "SNNwt")
+            ++snnwt;
+        else if (std::string(row.type) == "MLP")
+            ++mlp;
+        EXPECT_GT(row.cyclesPerImage, 0.0);
+    }
+    EXPECT_EQ(snnwot, 5);
+    EXPECT_EQ(snnwt, 5);
+    EXPECT_EQ(mlp, 5);
+}
+
+TEST(PaperConstants, Table8SnnWtLosesAtNi1)
+{
+    EXPECT_LT(paper::kTable8[1].speedupNi1, 1.0);
+    EXPECT_GT(paper::kTable8[0].speedupNi1, 1.0);
+    EXPECT_GT(paper::kTable8[2].speedupNi1, 1.0);
+}
+
+TEST(PaperConstants, Table9AreasGrowWithNi)
+{
+    for (int i = 1; i < 4; ++i) {
+        EXPECT_GT(paper::kTable9[i].totalAreaMm2,
+                  paper::kTable9[i - 1].totalAreaMm2);
+    }
+}
+
+TEST(Reports, PrintDesignRowsRendersEveryRow)
+{
+    std::vector<DesignRow> rows;
+    rows.push_back({"MLP", "1", 0.5, 1.0, 2.0, 0.3, 100});
+    rows.push_back({"MLP", "expanded", 70.0, 80.0, 3.8, 0.06, 4});
+    rows.push_back({"SNNwot", "1", 1.0, 3.0, 1.2, 1.0, 791});
+    std::ostringstream os;
+    printDesignRows(os, "demo", rows);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("expanded"), std::string::npos);
+    EXPECT_NE(out.find("SNNwot"), std::string::npos);
+    EXPECT_NE(out.find("791"), std::string::npos);
+}
+
+TEST(Reports, VsPaperHandlesZeroReference)
+{
+    const std::string s = vsPaper(42.0, 0.0, 1);
+    EXPECT_EQ(s, "42.0");
+    EXPECT_EQ(s.find("paper"), std::string::npos);
+}
+
+TEST(Reports, VsPaperNegativeDelta)
+{
+    const std::string s = vsPaper(90.0, 100.0, 0);
+    EXPECT_NE(s.find("-10%"), std::string::npos);
+}
+
+} // namespace
+} // namespace core
+} // namespace neuro

@@ -1,0 +1,172 @@
+// Tests for the RNG suite: software generator distributions and the
+// bit-accurate hardware LFSR / CLT-Gaussian models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "neuro/common/rng.h"
+
+namespace neuro {
+namespace {
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123), b(123), c(124);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        const uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntUnbiasedRange)
+{
+    Rng rng(11);
+    std::vector<int> hist(7, 0);
+    for (int i = 0; i < 21000; ++i)
+        ++hist[rng.uniformInt(7)];
+    for (int bucket : hist)
+        EXPECT_NEAR(bucket, 3000, 300);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+class PoissonTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PoissonTest, MeanAndVarianceMatch)
+{
+    const double mean = GetParam();
+    Rng rng(17);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const int k = rng.poisson(mean);
+        ASSERT_GE(k, 0);
+        sum += k;
+        sum_sq += static_cast<double>(k) * k;
+    }
+    const double m = sum / n;
+    const double var = sum_sq / n - m * m;
+    EXPECT_NEAR(m, mean, std::max(0.1, 0.06 * mean));
+    EXPECT_NEAR(var, mean, std::max(0.2, 0.12 * mean));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 4.0, 10.0, 40.0,
+                                           80.0, 200.0));
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        const double e = rng.exponential(50.0);
+        ASSERT_GT(e, 0.0);
+        sum += e;
+    }
+    EXPECT_NEAR(sum / n, 50.0, 1.5);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(23);
+    std::vector<uint32_t> order(257);
+    rng.shuffle(order.data(), order.size());
+    std::set<uint32_t> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), order.size());
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), order.size() - 1);
+}
+
+TEST(Lfsr31, ZeroSeedRemapped)
+{
+    Lfsr31 lfsr(0);
+    EXPECT_NE(lfsr.state(), 0u);
+}
+
+TEST(Lfsr31, StateNeverZeroAndNoShortCycle)
+{
+    // x^31 + x^3 + 1 is primitive: the sequence must not revisit the
+    // seed state within any short horizon.
+    Lfsr31 lfsr(1);
+    const uint32_t seed_state = lfsr.state();
+    for (int i = 0; i < 100000; ++i) {
+        lfsr.stepBit();
+        ASSERT_NE(lfsr.state(), 0u);
+        ASSERT_FALSE(i > 31 && lfsr.state() == seed_state && i < 99999)
+            << "short cycle at step " << i;
+    }
+}
+
+TEST(Lfsr31, BalancedBits)
+{
+    Lfsr31 lfsr(0x12345678);
+    int ones = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ones += static_cast<int>(lfsr.stepBit());
+    EXPECT_NEAR(ones, n / 2, n / 50);
+}
+
+TEST(GaussianClt, ApproximatelyStandardNormal)
+{
+    GaussianClt gen(42);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        const double g = gen.sample();
+        sum += g;
+        sum_sq += g * g;
+        // CLT of 4 uniforms is bounded: |g| <= 2/sqrt(1/3) ~ 3.47.
+        ASSERT_LE(std::fabs(g), 3.5);
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.06);
+}
+
+TEST(GaussianClt, ScaledSample)
+{
+    GaussianClt gen(9);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += gen.sample(100.0, 15.0);
+    EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+} // namespace
+} // namespace neuro

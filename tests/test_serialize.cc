@@ -1,0 +1,154 @@
+// Tests for the Archive container and the model save/load round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "neuro/common/rng.h"
+#include "neuro/common/serialize.h"
+#include "neuro/datasets/synth_digits.h"
+#include "neuro/mlp/backprop.h"
+#include "neuro/snn/serialize.h"
+
+namespace neuro {
+namespace {
+
+TEST(Archive, PutAndGet)
+{
+    Archive archive;
+    archive.putFloats("w", {1.0f, 2.0f});
+    archive.putInts("shape", {3, 4});
+    archive.putScalar("eta", 0.25);
+    EXPECT_TRUE(archive.has("w"));
+    EXPECT_TRUE(archive.has("shape"));
+    EXPECT_EQ(archive.floats("w")[1], 2.0f);
+    EXPECT_EQ(archive.ints("shape")[0], 3);
+    EXPECT_DOUBLE_EQ(archive.scalar("eta"), 0.25);
+    EXPECT_FALSE(archive.has("missing"));
+}
+
+TEST(Archive, OverwriteChangesType)
+{
+    Archive archive;
+    archive.putFloats("x", {1.0f});
+    archive.putInts("x", {7});
+    EXPECT_EQ(archive.ints("x")[0], 7);
+    EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(Archive, FileRoundTrip)
+{
+    const std::string path = "/tmp/neuro_test_archive.ncmp";
+    Archive archive;
+    archive.putFloats("weights", {0.5f, -1.5f, 3.25f});
+    archive.putInts("layers", {784, 100, 10});
+    ASSERT_TRUE(archive.save(path));
+
+    Archive loaded;
+    ASSERT_TRUE(loaded.load(path));
+    EXPECT_EQ(loaded.floats("weights"),
+              (std::vector<float>{0.5f, -1.5f, 3.25f}));
+    EXPECT_EQ(loaded.ints("layers"),
+              (std::vector<int64_t>{784, 100, 10}));
+    std::remove(path.c_str());
+}
+
+TEST(Archive, RejectsGarbageFile)
+{
+    const std::string path = "/tmp/neuro_test_garbage.ncmp";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("not an archive at all", f);
+        std::fclose(f);
+    }
+    Archive archive;
+    archive.putScalar("keep", 1.0);
+    EXPECT_FALSE(archive.load(path));
+    EXPECT_TRUE(archive.has("keep")) << "failed load must not clobber";
+    std::remove(path.c_str());
+}
+
+TEST(MlpSerialize, RoundTripPreservesPredictions)
+{
+    datasets::SynthDigitsOptions opt;
+    opt.trainSize = 200;
+    opt.testSize = 50;
+    const datasets::Split split = datasets::makeSynthDigits(opt);
+    mlp::MlpConfig config;
+    config.layerSizes = {784, 12, 10};
+    Rng rng(3);
+    mlp::Mlp net(config, rng);
+    mlp::TrainConfig train;
+    train.epochs = 3;
+    mlp::train(net, split.train, train);
+
+    Archive archive;
+    net.serialize(archive);
+    auto restored = mlp::Mlp::deserialize(archive);
+    ASSERT_TRUE(restored.has_value());
+
+    std::vector<float> input(net.inputSize());
+    for (std::size_t i = 0; i < split.test.size(); ++i) {
+        split.test.normalized(i, input.data());
+        ASSERT_EQ(net.predict(input.data()),
+                  restored->predict(input.data()))
+            << "prediction diverged at sample " << i;
+    }
+}
+
+TEST(MlpSerialize, MissingRecordsRejected)
+{
+    Archive archive;
+    archive.putInts("mlp.layers", {4, 2});
+    EXPECT_FALSE(mlp::Mlp::deserialize(archive).has_value());
+}
+
+TEST(SnnSerialize, RoundTripPreservesForwardCounts)
+{
+    snn::SnnConfig config;
+    config.numInputs = 16;
+    config.numNeurons = 6;
+    Rng rng(5);
+    snn::SnnNetwork net(config, rng);
+    const std::vector<int> labels = {0, 1, 2, 0, 1, 2};
+
+    Archive archive;
+    snn::saveSnn(net, labels, archive);
+    auto restored = snn::loadSnn(archive);
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(restored->labels, labels);
+    EXPECT_EQ(restored->network.config().numNeurons, 6u);
+
+    Rng probe(6);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<uint8_t> counts(16);
+        for (auto &c : counts)
+            c = static_cast<uint8_t>(probe.uniformInt(11));
+        EXPECT_EQ(net.forwardCounts(counts.data()),
+                  restored->network.forwardCounts(counts.data()));
+    }
+    // Thresholds restored too.
+    for (std::size_t n = 0; n < 6; ++n) {
+        EXPECT_FLOAT_EQ(
+            static_cast<float>(net.neurons()[n].threshold),
+            static_cast<float>(restored->network.neurons()[n].threshold));
+    }
+}
+
+TEST(SnnSerialize, ShapeMismatchRejected)
+{
+    snn::SnnConfig config;
+    config.numInputs = 8;
+    config.numNeurons = 4;
+    Rng rng(7);
+    snn::SnnNetwork net(config, rng);
+    Archive archive;
+    snn::saveSnn(net, {0, 1, 2, 3}, archive);
+    // Corrupt the weight record length.
+    archive.putFloats("snn.weights", {1.0f, 2.0f});
+    EXPECT_FALSE(snn::loadSnn(archive).has_value());
+}
+
+} // namespace
+} // namespace neuro

@@ -1,0 +1,86 @@
+// Tests for the statistics package.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "neuro/common/stats.h"
+
+namespace neuro {
+namespace {
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+}
+
+TEST(Distribution, MomentsOfKnownSamples)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-9); // classic population-sd example.
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(StatRegistry, CountersScalarsDistributions)
+{
+    StatRegistry stats;
+    stats.inc("spikes");
+    stats.inc("spikes", 4);
+    stats.setScalar("accuracy", 0.97);
+    stats.sample("latency", 10.0);
+    stats.sample("latency", 20.0);
+
+    EXPECT_EQ(stats.counter("spikes"), 5u);
+    EXPECT_DOUBLE_EQ(stats.scalar("accuracy"), 0.97);
+    EXPECT_EQ(stats.distribution("latency").count(), 2u);
+    EXPECT_DOUBLE_EQ(stats.distribution("latency").mean(), 15.0);
+    EXPECT_EQ(stats.counter("absent"), 0u);
+}
+
+TEST(StatRegistry, DumpContainsNames)
+{
+    StatRegistry stats;
+    stats.inc("fires", 3);
+    stats.setScalar("acc", 0.5);
+    stats.sample("dist", 1.0);
+    std::ostringstream os;
+    stats.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("fires"), std::string::npos);
+    EXPECT_NE(out.find("acc"), std::string::npos);
+    EXPECT_NE(out.find("dist"), std::string::npos);
+}
+
+TEST(StatRegistry, ResetClearsEverything)
+{
+    StatRegistry stats;
+    stats.inc("a");
+    stats.setScalar("b", 1);
+    stats.sample("c", 1);
+    stats.reset();
+    EXPECT_EQ(stats.counter("a"), 0u);
+    EXPECT_DOUBLE_EQ(stats.scalar("b"), 0.0);
+    EXPECT_EQ(stats.distribution("c").count(), 0u);
+}
+
+} // namespace
+} // namespace neuro

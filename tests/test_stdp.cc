@@ -1,0 +1,115 @@
+// Tests for the simplified STDP rule (LTP window, LTD, bounds).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "neuro/snn/stdp.h"
+
+namespace neuro {
+namespace snn {
+namespace {
+
+StdpConfig
+hardConfig()
+{
+    StdpConfig config;
+    config.ltpWindowMs = 45;
+    config.ltpIncrement = 2.0f;
+    config.ltdDecrement = 1.0f;
+    config.softBounds = false;
+    return config;
+}
+
+TEST(Stdp, CausalSpikesPotentiated)
+{
+    const StdpRule rule(hardConfig());
+    std::vector<float> w = {100.0f, 100.0f, 100.0f, 100.0f};
+    // Fire at t=100; spikes at 100, 60, 54, never.
+    const std::vector<int64_t> last = {100, 60, 54, -1};
+    const std::size_t potentiated =
+        rule.onPostSpike(w.data(), last.data(), 100, 4);
+    EXPECT_EQ(potentiated, 2u);
+    EXPECT_FLOAT_EQ(w[0], 102.0f); // within window (dt = 0).
+    EXPECT_FLOAT_EQ(w[1], 102.0f); // dt = 40 <= 45.
+    EXPECT_FLOAT_EQ(w[2], 99.0f);  // dt = 46 > 45 -> LTD.
+    EXPECT_FLOAT_EQ(w[3], 99.0f);  // never spiked -> LTD.
+}
+
+TEST(Stdp, FutureSpikeIsNotCausal)
+{
+    const StdpRule rule(hardConfig());
+    std::vector<float> w = {100.0f};
+    // The input's most recent spike is *after* the postsynaptic one
+    // (can happen with bookkeeping order): treat as acausal -> LTD.
+    const std::vector<int64_t> last = {150};
+    rule.onPostSpike(w.data(), last.data(), 100, 1);
+    EXPECT_FLOAT_EQ(w[0], 99.0f);
+}
+
+TEST(Stdp, HardBoundsClamp)
+{
+    StdpConfig config = hardConfig();
+    config.ltpIncrement = 50.0f;
+    config.ltdDecrement = 50.0f;
+    const StdpRule rule(config);
+    std::vector<float> w = {240.0f, 20.0f};
+    const std::vector<int64_t> last = {100, -1};
+    rule.onPostSpike(w.data(), last.data(), 100, 2);
+    EXPECT_FLOAT_EQ(w[0], 255.0f);
+    EXPECT_FLOAT_EQ(w[1], 0.0f);
+}
+
+TEST(Stdp, SoftBoundsScaleWithHeadroom)
+{
+    StdpConfig config = hardConfig();
+    config.softBounds = true;
+    config.ltpIncrement = 10.0f;
+    config.ltdDecrement = 10.0f;
+    const StdpRule rule(config);
+    std::vector<float> w = {0.0f, 255.0f, 127.5f, 127.5f};
+    const std::vector<int64_t> last = {100, 100, 100, -1};
+    rule.onPostSpike(w.data(), last.data(), 100, 4);
+    EXPECT_FLOAT_EQ(w[0], 10.0f);   // full headroom -> full step.
+    EXPECT_FLOAT_EQ(w[1], 255.0f);  // saturated -> no movement.
+    EXPECT_NEAR(w[2], 127.5f + 5.0f, 1e-4f); // half headroom.
+    EXPECT_NEAR(w[3], 127.5f - 5.0f, 1e-4f); // LTD scales with w.
+}
+
+TEST(Stdp, RepeatedPotentiationConvergesToMax)
+{
+    StdpConfig config = hardConfig();
+    config.softBounds = true;
+    config.ltpIncrement = 32.0f;
+    const StdpRule rule(config);
+    std::vector<float> w = {50.0f};
+    const std::vector<int64_t> last = {0};
+    for (int i = 0; i < 200; ++i)
+        rule.onPostSpike(w.data(), last.data(), 0, 1);
+    EXPECT_NEAR(w[0], 255.0f, 1.0f);
+}
+
+class LtpWindowTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LtpWindowTest, BoundaryIsInclusive)
+{
+    StdpConfig config = hardConfig();
+    config.ltpWindowMs = GetParam();
+    const StdpRule rule(config);
+    std::vector<float> w = {100.0f, 100.0f};
+    const std::vector<int64_t> last = {
+        100 - GetParam(),      // exactly at the window edge -> LTP.
+        100 - GetParam() - 1}; // one ms beyond -> LTD.
+    rule.onPostSpike(w.data(), last.data(), 100, 2);
+    EXPECT_GT(w[0], 100.0f);
+    EXPECT_LT(w[1], 100.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, LtpWindowTest,
+                         ::testing::Values(1, 10, 45, 50));
+
+} // namespace
+} // namespace snn
+} // namespace neuro

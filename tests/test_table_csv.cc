@@ -1,0 +1,95 @@
+// Tests for the table and CSV report emitters.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "neuro/common/csv.h"
+#include "neuro/common/table.h"
+
+namespace neuro {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndPrintsTitle)
+{
+    TextTable table("demo");
+    table.setHeader({"a", "long-header"});
+    table.addRow({"1", "2"});
+    table.addRow({"333", "4"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+    // Every data line starts and ends with '|'.
+    std::istringstream lines(out);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '=' )
+            continue;
+        EXPECT_TRUE(line.front() == '|' || line.front() == '+') << line;
+    }
+}
+
+TEST(TextTable, RaggedRowsArePadded)
+{
+    TextTable table;
+    table.setHeader({"x", "y", "z"});
+    table.addRow({"only-one"});
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorAndNotes)
+{
+    TextTable table;
+    table.setHeader({"c"});
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    table.addNote("a footnote");
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("note: a footnote"), std::string::npos);
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(0.9765, 2), "97.65%");
+    EXPECT_EQ(TextTable::num(-42), "-42");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows)
+{
+    const std::string path = "/tmp/neuro_test_csv.csv";
+    {
+        CsvWriter csv(path, {"x", "y"});
+        ASSERT_TRUE(csv.ok());
+        csv.writeRow(std::vector<double>{1.0, 2.5});
+        csv.writeRow(std::vector<std::string>{"a", "b"});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2.5");
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, BadPathIsNonFatal)
+{
+    CsvWriter csv("/nonexistent-dir-xyz/file.csv", {"h"});
+    EXPECT_FALSE(csv.ok());
+    csv.writeRow(std::vector<double>{1.0}); // must not crash.
+}
+
+} // namespace
+} // namespace neuro

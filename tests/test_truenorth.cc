@@ -1,0 +1,124 @@
+// Tests for the TrueNorth core reimplementation: cost model vs the
+// paper's Section 5 numbers, and the functional crossbar quantization.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "neuro/common/matrix.h"
+#include "neuro/common/rng.h"
+#include "neuro/core/reports.h"
+#include "neuro/hw/truenorth.h"
+
+namespace neuro {
+namespace hw {
+namespace {
+
+TEST(TrueNorthCore, CostModelMatchesSection5)
+{
+    const Design core = buildTrueNorthCore();
+    EXPECT_NEAR(core.totalAreaMm2(), core::paper::kTrueNorthAreaMm2,
+                core::paper::kTrueNorthAreaMm2 * 0.2);
+    EXPECT_NEAR(core.timePerImageNs() / 1000.0,
+                core::paper::kTrueNorthTimeUs, 1.0);
+    EXPECT_NEAR(core.totalEnergyPerImageUj(),
+                core::paper::kTrueNorthEnergyUj,
+                core::paper::kTrueNorthEnergyUj * 0.5);
+}
+
+TEST(TrueNorthCore, SlowerButComparableAreaVsSnnWotNi1)
+{
+    // Section 5: SNNwot ni=1 beats TrueNorth on speed (0.98us vs
+    // 1024us) at similar area.
+    const Design core = buildTrueNorthCore();
+    EXPECT_GT(core.timePerImageNs(), 100000.0);
+}
+
+Matrix
+makeTestWeights(std::size_t neurons, std::size_t inputs, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix w(neurons, inputs);
+    // Two clusters of columns (low/high) so the axon typing has
+    // structure to find.
+    for (std::size_t n = 0; n < neurons; ++n)
+        for (std::size_t i = 0; i < inputs; ++i)
+            w(n, i) = static_cast<float>(
+                (i % 2 == 0 ? 40.0 : 200.0) + rng.uniform(-20.0, 20.0));
+    return w;
+}
+
+TEST(TrueNorthFunctional, TypesAndWeightsWithinFormat)
+{
+    const Matrix w = makeTestWeights(16, 64, 1);
+    const TrueNorthFunctional tn(w);
+    for (int type : tn.axonTypes()) {
+        EXPECT_GE(type, 0);
+        EXPECT_LT(type, 4);
+    }
+    for (std::size_t n = 0; n < 16; ++n) {
+        for (int t = 0; t < 4; ++t) {
+            EXPECT_GE(tn.typeWeight(n, t), -255);
+            EXPECT_LE(tn.typeWeight(n, t), 255);
+        }
+    }
+}
+
+TEST(TrueNorthFunctional, ClusersSeparateLowAndHighColumns)
+{
+    const Matrix w = makeTestWeights(16, 64, 2);
+    const TrueNorthFunctional tn(w);
+    // Even columns (mean ~40) and odd columns (mean ~200) must never
+    // share an axon type (k-means may split each mode into sub-types,
+    // but it must not merge across the modes).
+    const auto &types = tn.axonTypes();
+    std::set<int> even_types, odd_types;
+    for (std::size_t i = 0; i < types.size(); ++i)
+        (i % 2 == 0 ? even_types : odd_types).insert(types[i]);
+    for (int t : even_types)
+        EXPECT_EQ(odd_types.count(t), 0u) << "type " << t << " spans "
+                                          << "both column modes";
+}
+
+TEST(TrueNorthFunctional, ForwardMatchesManualComputation)
+{
+    Matrix w(2, 4);
+    // Neuron 0 keyed to inputs {0,1}; neuron 1 to {2,3}.
+    w(0, 0) = 100;
+    w(0, 1) = 100;
+    w(0, 2) = 0;
+    w(0, 3) = 0;
+    w(1, 0) = 0;
+    w(1, 1) = 0;
+    w(1, 2) = 100;
+    w(1, 3) = 100;
+    const TrueNorthFunctional tn(w);
+    const uint8_t counts_a[4] = {5, 5, 0, 0};
+    const uint8_t counts_b[4] = {0, 0, 5, 5};
+    EXPECT_EQ(tn.forward(counts_a), 0);
+    EXPECT_EQ(tn.forward(counts_b), 1);
+}
+
+TEST(TrueNorthFunctional, QuantizationErrorBounded)
+{
+    const Matrix w = makeTestWeights(32, 128, 3);
+    const TrueNorthFunctional tn(w);
+    // Clustered columns quantize well: mean abs error far below the
+    // weight scale.
+    EXPECT_LT(tn.quantizationError(), 30.0);
+    EXPECT_GT(tn.quantizationError(), 0.0);
+}
+
+TEST(TrueNorthFunctional, PotentialsExposed)
+{
+    const Matrix w = makeTestWeights(8, 16, 4);
+    const TrueNorthFunctional tn(w);
+    const std::vector<uint8_t> counts(16, 3);
+    std::vector<int64_t> potentials;
+    tn.forward(counts.data(), &potentials);
+    ASSERT_EQ(potentials.size(), 8u);
+}
+
+} // namespace
+} // namespace hw
+} // namespace neuro

@@ -1,0 +1,86 @@
+// Cross-workload generalization tests: the Section 4.5 claim is that
+// the MNIST conclusions carry to other input geometries; these tests
+// run scaled-down versions of the MPEG-7-like and SAD-like flows.
+
+#include <gtest/gtest.h>
+
+#include "neuro/common/rng.h"
+#include "neuro/core/compare.h"
+#include "neuro/core/experiment.h"
+
+namespace neuro {
+namespace core {
+namespace {
+
+TEST(WorkloadGeneralization, Mpeg7MlpTrainsAtPaperTopology)
+{
+    const Workload w = makeMpeg7Workload(700, 200, 2);
+    mlp::TrainConfig train = defaultMlpTrainConfig();
+    train.epochs = 6;
+    const double acc = mlp::trainAndEvaluate(
+        defaultMlpConfig(w), train, w.data.train, w.data.test, 42);
+    // Paper: 99.7% with 15 hidden neurons; our silhouettes are harder
+    // for so small a layer but must be clearly learnable.
+    EXPECT_GT(acc, 0.6);
+}
+
+TEST(WorkloadGeneralization, SadMlpTrainsAtPaperTopology)
+{
+    const Workload w = makeSadWorkload(700, 200, 3);
+    mlp::TrainConfig train = defaultMlpTrainConfig();
+    train.epochs = 6;
+    const double acc = mlp::trainAndEvaluate(
+        defaultMlpConfig(w), train, w.data.train, w.data.test, 42);
+    EXPECT_GT(acc, 0.8);
+}
+
+TEST(WorkloadGeneralization, SadSnnLearnsAboveChance)
+{
+    const Workload w = makeSadWorkload(700, 200, 3);
+    const snn::SnnConfig config = defaultSnnConfig(w, w.data.train.size());
+    snn::SnnTrainConfig train;
+    train.epochs = 2;
+    const double acc = snn::trainAndEvaluateStdp(
+        config, train, w.data.train, w.data.test, snn::EvalMode::Wt, 7);
+    EXPECT_GT(acc, 0.3) << "STDP below usable accuracy on SAD-like data";
+}
+
+TEST(WorkloadGeneralization, FoldedCostRatiosFavorMlpOnBothWorkloads)
+{
+    // Section 4.5's hardware half: SNNwot costs more than the MLP on
+    // both extra workloads, with a bigger gap for MPEG-7's tiny MLP.
+    const Workload mpeg7 = makeMpeg7Workload(300, 100, 2);
+    const Workload sad = makeSadWorkload(300, 100, 3);
+    const auto mpeg7_ratios =
+        foldedCostRatios(mpeg7.mlpTopo, mpeg7.snnTopo, {1, 16});
+    const auto sad_ratios =
+        foldedCostRatios(sad.mlpTopo, sad.snnTopo, {1, 16});
+    for (const auto &r : mpeg7_ratios) {
+        EXPECT_GT(r.areaRatio, 2.0) << "mpeg7 ni=" << r.ni;
+        EXPECT_GT(r.energyRatio, 2.0) << "mpeg7 ni=" << r.ni;
+    }
+    for (const auto &r : sad_ratios) {
+        EXPECT_GT(r.areaRatio, 1.0) << "sad ni=" << r.ni;
+        EXPECT_LT(r.areaRatio, 2.5) << "sad ni=" << r.ni;
+    }
+    // MPEG-7's gap exceeds SAD's (paper: 3.81-5.57x vs 1.27-1.31x).
+    EXPECT_GT(mpeg7_ratios[0].areaRatio, sad_ratios[0].areaRatio);
+}
+
+TEST(WorkloadGeneralization, SnnConfigAdaptsThresholdPerWorkload)
+{
+    const Workload mnist = makeMnistWorkload(300, 100, 1);
+    const Workload sad = makeSadWorkload(300, 100, 3);
+    const auto mnist_config = defaultSnnConfig(mnist, 300);
+    const auto sad_config = defaultSnnConfig(sad, 300);
+    // SAD images are 13x13 and denser: different drive, different
+    // derived threshold — the data-driven rule must not be constant.
+    EXPECT_NE(mnist_config.initialThreshold,
+              sad_config.initialThreshold);
+    EXPECT_GT(mnist_config.initialThreshold, 0.0);
+    EXPECT_GT(sad_config.initialThreshold, 0.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace neuro

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * neurocmp — command-line front end to the reproduction library.
+ *
+ *   neurocmp list
+ *   neurocmp accuracy   [train=6000 test=1500]     # Table 3
+ *   neurocmp hw         [workload=mnist]           # Table 7 summary
+ *   neurocmp sweep      what=neurons|slope|coding  # Figures 8/6/14
+ *   neurocmp train-snn  save=model.ncmp [train=N]  # train + save
+ *   neurocmp eval-snn   load=model.ncmp [test=N]   # load + evaluate
+ *
+ * All subcommands accept key=value overrides and NEURO_* environment
+ * variables; `neurocmp list` shows the mapping to paper experiments.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "neuro/common/config.h"
+#include "neuro/common/logging.h"
+#include "neuro/common/rng.h"
+#include "neuro/common/serialize.h"
+#include "neuro/common/table.h"
+#include "neuro/core/compare.h"
+#include "neuro/core/experiment.h"
+#include "neuro/core/explorer.h"
+#include "neuro/core/reports.h"
+#include "neuro/snn/serialize.h"
+
+namespace {
+
+using namespace neuro;
+
+int
+cmdList()
+{
+    std::printf(
+        "neurocmp subcommands:\n"
+        "  accuracy   Table 3: SNNwt/SNNwot/SNN+BP/MLP+BP accuracies\n"
+        "  hw         Table 7: folded/expanded design characteristics\n"
+        "  sweep      what=neurons (Fig 8) | slope (Fig 6) | coding "
+        "(Fig 14)\n"
+        "  train-snn  train SNN+STDP and save to save=<path>\n"
+        "  eval-snn   evaluate a saved model from load=<path>\n"
+        "common options: train=N test=N workload=mnist|mpeg7|sad, and\n"
+        "NEURO_SCALE / NEURO_MNIST_DIR environment variables.\n"
+        "for the full per-table reproduction, run the bench/ binaries.\n");
+    return 0;
+}
+
+core::Workload
+loadWorkload(const Config &cfg)
+{
+    const std::string name = cfg.getString("workload", "mnist");
+    const auto train =
+        static_cast<std::size_t>(cfg.getInt("train", 4000));
+    const auto test = static_cast<std::size_t>(cfg.getInt("test", 1000));
+    if (name == "mpeg7")
+        return core::makeMpeg7Workload(train, test, 2);
+    if (name == "sad")
+        return core::makeSadWorkload(train, test, 3);
+    if (name != "mnist")
+        fatal("unknown workload '%s' (mnist|mpeg7|sad)", name.c_str());
+    return core::makeMnistWorkload(train, test, 1);
+}
+
+int
+cmdAccuracy(const Config &cfg)
+{
+    const core::Workload w = loadWorkload(cfg);
+    const auto results = core::runAccuracyComparison(w, 77);
+    TextTable table("accuracy comparison (" + w.name + ")");
+    table.setHeader({"Model", "Accuracy"});
+    table.addRow({"SNN+STDP (SNNwt)", TextTable::pct(results.snnWt)});
+    table.addRow({"SNN+STDP (SNNwot)", TextTable::pct(results.snnWot)});
+    table.addRow({"SNN+BP", TextTable::pct(results.snnBp)});
+    table.addRow({"MLP+BP", TextTable::pct(results.mlpBp)});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdHw(const Config &cfg)
+{
+    const core::Workload w = loadWorkload(cfg);
+    const auto rows = core::makeTable7Rows(w.mlpTopo, w.snnTopo);
+    core::printDesignRows(std::cout,
+                          "design characteristics (" + w.name + ")",
+                          rows);
+    return 0;
+}
+
+int
+cmdSweep(const Config &cfg)
+{
+    const core::Workload w = loadWorkload(cfg);
+    const std::string what = cfg.getString("what", "neurons");
+    TextTable table("sweep: " + what);
+    if (what == "neurons") {
+        table.setHeader({"Model", "Neurons", "Accuracy"});
+        for (const auto &p :
+             core::sweepMlpHidden(w, {10, 25, 50, 100}, 21)) {
+            table.addRow({"MLP", TextTable::fmt(p.parameter, 0),
+                          TextTable::pct(p.accuracy)});
+        }
+        for (const auto &p :
+             core::sweepSnnNeurons(w, {10, 50, 100, 300}, 22)) {
+            table.addRow({"SNN", TextTable::fmt(p.parameter, 0),
+                          TextTable::pct(p.accuracy)});
+        }
+    } else if (what == "slope") {
+        table.setHeader({"Slope a", "Error rate"});
+        for (const auto &p :
+             core::sweepSigmoidSlope(w, {1, 2, 4, 8, 16}, 23)) {
+            table.addRow({p.parameter == 0 ? "step"
+                                           : TextTable::fmt(p.parameter,
+                                                            0),
+                          TextTable::pct(1.0 - p.accuracy)});
+        }
+    } else if (what == "coding") {
+        table.setHeader({"Scheme", "Neurons", "Accuracy"});
+        for (const auto &p : core::sweepCodingSchemes(
+                 w,
+                 {snn::CodingScheme::RatePoisson,
+                  snn::CodingScheme::RankOrder},
+                 {50, 300}, 24)) {
+            table.addRow(
+                {snn::codingSchemeName(p.scheme),
+                 TextTable::num(static_cast<long long>(p.neurons)),
+                 TextTable::pct(p.accuracy)});
+        }
+    } else {
+        fatal("unknown sweep '%s' (neurons|slope|coding)", what.c_str());
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTrainSnn(const Config &cfg)
+{
+    const std::string path = cfg.getString("save", "");
+    if (path.empty())
+        fatal("train-snn needs save=<path>");
+    const core::Workload w = loadWorkload(cfg);
+    const snn::SnnConfig config =
+        core::defaultSnnConfig(w, w.data.train.size());
+    Rng rng(7);
+    snn::SnnNetwork net(config, rng);
+    snn::SnnStdpTrainer trainer(config);
+    snn::SnnTrainConfig train;
+    train.epochs = scaled(3, 1);
+    trainer.train(net, w.data.train, train,
+                  [](const snn::SnnEpochReport &r) {
+                      inform("epoch %zu: %zu output spikes, %zu silent "
+                             "images",
+                             r.epoch, r.outputSpikes, r.silentImages);
+                  });
+    const auto labels = trainer.labelNeurons(net, w.data.train,
+                                             snn::EvalMode::Wt, 9);
+    Archive archive;
+    snn::saveSnn(net, labels, archive);
+    if (!archive.save(path))
+        fatal("cannot write '%s'", path.c_str());
+    const auto result =
+        trainer.evaluate(net, labels, w.data.test, snn::EvalMode::Wt, 10);
+    std::printf("trained %zu-neuron SNN: %.2f%% test accuracy, saved "
+                "to %s\n",
+                config.numNeurons, result.accuracy * 100.0,
+                path.c_str());
+    return 0;
+}
+
+int
+cmdEvalSnn(const Config &cfg)
+{
+    const std::string path = cfg.getString("load", "");
+    if (path.empty())
+        fatal("eval-snn needs load=<path>");
+    Archive archive;
+    if (!archive.load(path))
+        fatal("cannot read '%s'", path.c_str());
+    auto model = snn::loadSnn(archive);
+    if (!model)
+        fatal("'%s' is not a saved SNN model", path.c_str());
+    const core::Workload w = loadWorkload(cfg);
+    NEURO_ASSERT(w.data.test.inputSize() ==
+                     model->network.config().numInputs,
+                 "model/workload input-size mismatch");
+    snn::SnnStdpTrainer trainer(model->network.config());
+    const auto result = trainer.evaluate(
+        model->network, model->labels, w.data.test, snn::EvalMode::Wt,
+        11);
+    std::printf("%s on %s test set: %.2f%% accuracy (%zu fallback "
+                "readouts)\n",
+                path.c_str(), w.name.c_str(), result.accuracy * 100.0,
+                result.silent);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseEnv();
+    cfg.parseArgs(argc, argv);
+    const char *cmd = argc > 1 ? argv[1] : "list";
+
+    if (std::strcmp(cmd, "list") == 0 || std::strcmp(cmd, "help") == 0)
+        return cmdList();
+    if (std::strcmp(cmd, "accuracy") == 0)
+        return cmdAccuracy(cfg);
+    if (std::strcmp(cmd, "hw") == 0)
+        return cmdHw(cfg);
+    if (std::strcmp(cmd, "sweep") == 0)
+        return cmdSweep(cfg);
+    if (std::strcmp(cmd, "train-snn") == 0)
+        return cmdTrainSnn(cfg);
+    if (std::strcmp(cmd, "eval-snn") == 0)
+        return cmdEvalSnn(cfg);
+    warn("unknown subcommand '%s'", cmd);
+    return cmdList();
+}
