@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_spikes.dir/bench_fig3_spikes.cpp.o"
+  "CMakeFiles/bench_fig3_spikes.dir/bench_fig3_spikes.cpp.o.d"
+  "bench_fig3_spikes"
+  "bench_fig3_spikes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_spikes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

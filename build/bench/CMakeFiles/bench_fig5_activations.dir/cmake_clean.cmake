@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_activations.dir/bench_fig5_activations.cpp.o"
+  "CMakeFiles/bench_fig5_activations.dir/bench_fig5_activations.cpp.o.d"
+  "bench_fig5_activations"
+  "bench_fig5_activations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_activations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

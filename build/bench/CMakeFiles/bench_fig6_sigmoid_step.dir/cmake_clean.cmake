@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sigmoid_step.dir/bench_fig6_sigmoid_step.cpp.o"
+  "CMakeFiles/bench_fig6_sigmoid_step.dir/bench_fig6_sigmoid_step.cpp.o.d"
+  "bench_fig6_sigmoid_step"
+  "bench_fig6_sigmoid_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sigmoid_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_neurons.dir/bench_fig8_neurons.cpp.o"
+  "CMakeFiles/bench_fig8_neurons.dir/bench_fig8_neurons.cpp.o.d"
+  "bench_fig8_neurons"
+  "bench_fig8_neurons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_neurons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

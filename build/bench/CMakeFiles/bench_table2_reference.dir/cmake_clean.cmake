@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_reference.dir/bench_table2_reference.cpp.o"
+  "CMakeFiles/bench_table2_reference.dir/bench_table2_reference.cpp.o.d"
+  "bench_table2_reference"
+  "bench_table2_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

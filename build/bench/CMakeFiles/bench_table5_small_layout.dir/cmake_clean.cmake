@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_small_layout.dir/bench_table5_small_layout.cpp.o"
+  "CMakeFiles/bench_table5_small_layout.dir/bench_table5_small_layout.cpp.o.d"
+  "bench_table5_small_layout"
+  "bench_table5_small_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_small_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

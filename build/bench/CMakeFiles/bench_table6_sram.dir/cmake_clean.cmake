@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_sram.dir/bench_table6_sram.cpp.o"
+  "CMakeFiles/bench_table6_sram.dir/bench_table6_sram.cpp.o.d"
+  "bench_table6_sram"
+  "bench_table6_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

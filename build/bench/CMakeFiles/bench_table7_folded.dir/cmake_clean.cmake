@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_folded.dir/bench_table7_folded.cpp.o"
+  "CMakeFiles/bench_table7_folded.dir/bench_table7_folded.cpp.o.d"
+  "bench_table7_folded"
+  "bench_table7_folded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_folded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_stdp.dir/bench_table9_stdp.cpp.o"
+  "CMakeFiles/bench_table9_stdp.dir/bench_table9_stdp.cpp.o.d"
+  "bench_table9_stdp"
+  "bench_table9_stdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_stdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_truenorth.dir/bench_truenorth.cpp.o"
+  "CMakeFiles/bench_truenorth.dir/bench_truenorth.cpp.o.d"
+  "bench_truenorth"
+  "bench_truenorth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_truenorth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

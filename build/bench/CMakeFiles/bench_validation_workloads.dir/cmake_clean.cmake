@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_workloads.dir/bench_validation_workloads.cpp.o"
+  "CMakeFiles/bench_validation_workloads.dir/bench_validation_workloads.cpp.o.d"
+  "bench_validation_workloads"
+  "bench_validation_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augmentation_study.dir/augmentation_study.cpp.o"
+  "CMakeFiles/augmentation_study.dir/augmentation_study.cpp.o.d"
+  "augmentation_study"
+  "augmentation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augmentation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_schemes.dir/coding_schemes.cpp.o"
+  "CMakeFiles/coding_schemes.dir/coding_schemes.cpp.o.d"
+  "coding_schemes"
+  "coding_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_network.dir/inspect_network.cpp.o"
+  "CMakeFiles/inspect_network.dir/inspect_network.cpp.o.d"
+  "inspect_network"
+  "inspect_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

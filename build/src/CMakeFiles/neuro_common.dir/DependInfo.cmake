@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neuro/common/ascii_art.cc" "src/CMakeFiles/neuro_common.dir/neuro/common/ascii_art.cc.o" "gcc" "src/CMakeFiles/neuro_common.dir/neuro/common/ascii_art.cc.o.d"
+  "/root/repo/src/neuro/common/config.cc" "src/CMakeFiles/neuro_common.dir/neuro/common/config.cc.o" "gcc" "src/CMakeFiles/neuro_common.dir/neuro/common/config.cc.o.d"
+  "/root/repo/src/neuro/common/csv.cc" "src/CMakeFiles/neuro_common.dir/neuro/common/csv.cc.o" "gcc" "src/CMakeFiles/neuro_common.dir/neuro/common/csv.cc.o.d"
+  "/root/repo/src/neuro/common/logging.cc" "src/CMakeFiles/neuro_common.dir/neuro/common/logging.cc.o" "gcc" "src/CMakeFiles/neuro_common.dir/neuro/common/logging.cc.o.d"
+  "/root/repo/src/neuro/common/matrix.cc" "src/CMakeFiles/neuro_common.dir/neuro/common/matrix.cc.o" "gcc" "src/CMakeFiles/neuro_common.dir/neuro/common/matrix.cc.o.d"
+  "/root/repo/src/neuro/common/pgm.cc" "src/CMakeFiles/neuro_common.dir/neuro/common/pgm.cc.o" "gcc" "src/CMakeFiles/neuro_common.dir/neuro/common/pgm.cc.o.d"
+  "/root/repo/src/neuro/common/rng.cc" "src/CMakeFiles/neuro_common.dir/neuro/common/rng.cc.o" "gcc" "src/CMakeFiles/neuro_common.dir/neuro/common/rng.cc.o.d"
+  "/root/repo/src/neuro/common/serialize.cc" "src/CMakeFiles/neuro_common.dir/neuro/common/serialize.cc.o" "gcc" "src/CMakeFiles/neuro_common.dir/neuro/common/serialize.cc.o.d"
+  "/root/repo/src/neuro/common/stats.cc" "src/CMakeFiles/neuro_common.dir/neuro/common/stats.cc.o" "gcc" "src/CMakeFiles/neuro_common.dir/neuro/common/stats.cc.o.d"
+  "/root/repo/src/neuro/common/table.cc" "src/CMakeFiles/neuro_common.dir/neuro/common/table.cc.o" "gcc" "src/CMakeFiles/neuro_common.dir/neuro/common/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

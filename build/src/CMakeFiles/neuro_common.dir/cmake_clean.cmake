@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuro_common.dir/neuro/common/ascii_art.cc.o"
+  "CMakeFiles/neuro_common.dir/neuro/common/ascii_art.cc.o.d"
+  "CMakeFiles/neuro_common.dir/neuro/common/config.cc.o"
+  "CMakeFiles/neuro_common.dir/neuro/common/config.cc.o.d"
+  "CMakeFiles/neuro_common.dir/neuro/common/csv.cc.o"
+  "CMakeFiles/neuro_common.dir/neuro/common/csv.cc.o.d"
+  "CMakeFiles/neuro_common.dir/neuro/common/logging.cc.o"
+  "CMakeFiles/neuro_common.dir/neuro/common/logging.cc.o.d"
+  "CMakeFiles/neuro_common.dir/neuro/common/matrix.cc.o"
+  "CMakeFiles/neuro_common.dir/neuro/common/matrix.cc.o.d"
+  "CMakeFiles/neuro_common.dir/neuro/common/pgm.cc.o"
+  "CMakeFiles/neuro_common.dir/neuro/common/pgm.cc.o.d"
+  "CMakeFiles/neuro_common.dir/neuro/common/rng.cc.o"
+  "CMakeFiles/neuro_common.dir/neuro/common/rng.cc.o.d"
+  "CMakeFiles/neuro_common.dir/neuro/common/serialize.cc.o"
+  "CMakeFiles/neuro_common.dir/neuro/common/serialize.cc.o.d"
+  "CMakeFiles/neuro_common.dir/neuro/common/stats.cc.o"
+  "CMakeFiles/neuro_common.dir/neuro/common/stats.cc.o.d"
+  "CMakeFiles/neuro_common.dir/neuro/common/table.cc.o"
+  "CMakeFiles/neuro_common.dir/neuro/common/table.cc.o.d"
+  "libneuro_common.a"
+  "libneuro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

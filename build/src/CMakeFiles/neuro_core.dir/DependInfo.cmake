@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neuro/core/compare.cc" "src/CMakeFiles/neuro_core.dir/neuro/core/compare.cc.o" "gcc" "src/CMakeFiles/neuro_core.dir/neuro/core/compare.cc.o.d"
+  "/root/repo/src/neuro/core/experiment.cc" "src/CMakeFiles/neuro_core.dir/neuro/core/experiment.cc.o" "gcc" "src/CMakeFiles/neuro_core.dir/neuro/core/experiment.cc.o.d"
+  "/root/repo/src/neuro/core/explorer.cc" "src/CMakeFiles/neuro_core.dir/neuro/core/explorer.cc.o" "gcc" "src/CMakeFiles/neuro_core.dir/neuro/core/explorer.cc.o.d"
+  "/root/repo/src/neuro/core/faults.cc" "src/CMakeFiles/neuro_core.dir/neuro/core/faults.cc.o" "gcc" "src/CMakeFiles/neuro_core.dir/neuro/core/faults.cc.o.d"
+  "/root/repo/src/neuro/core/metrics.cc" "src/CMakeFiles/neuro_core.dir/neuro/core/metrics.cc.o" "gcc" "src/CMakeFiles/neuro_core.dir/neuro/core/metrics.cc.o.d"
+  "/root/repo/src/neuro/core/reports.cc" "src/CMakeFiles/neuro_core.dir/neuro/core/reports.cc.o" "gcc" "src/CMakeFiles/neuro_core.dir/neuro/core/reports.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/neuro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/neuro_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/neuro_mlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/neuro_snn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/neuro_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/neuro_cycle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/neuro_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuro_core.dir/neuro/core/compare.cc.o"
+  "CMakeFiles/neuro_core.dir/neuro/core/compare.cc.o.d"
+  "CMakeFiles/neuro_core.dir/neuro/core/experiment.cc.o"
+  "CMakeFiles/neuro_core.dir/neuro/core/experiment.cc.o.d"
+  "CMakeFiles/neuro_core.dir/neuro/core/explorer.cc.o"
+  "CMakeFiles/neuro_core.dir/neuro/core/explorer.cc.o.d"
+  "CMakeFiles/neuro_core.dir/neuro/core/faults.cc.o"
+  "CMakeFiles/neuro_core.dir/neuro/core/faults.cc.o.d"
+  "CMakeFiles/neuro_core.dir/neuro/core/metrics.cc.o"
+  "CMakeFiles/neuro_core.dir/neuro/core/metrics.cc.o.d"
+  "CMakeFiles/neuro_core.dir/neuro/core/reports.cc.o"
+  "CMakeFiles/neuro_core.dir/neuro/core/reports.cc.o.d"
+  "libneuro_core.a"
+  "libneuro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libneuro_core.a"
+)

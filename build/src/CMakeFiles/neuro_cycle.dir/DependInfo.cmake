@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neuro/cycle/event_queue.cc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/event_queue.cc.o" "gcc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/event_queue.cc.o.d"
+  "/root/repo/src/neuro/cycle/event_sim.cc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/event_sim.cc.o" "gcc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/event_sim.cc.o.d"
+  "/root/repo/src/neuro/cycle/folded_mlp_sim.cc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/folded_mlp_sim.cc.o" "gcc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/folded_mlp_sim.cc.o.d"
+  "/root/repo/src/neuro/cycle/folded_snn_sim.cc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/folded_snn_sim.cc.o" "gcc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/folded_snn_sim.cc.o.d"
+  "/root/repo/src/neuro/cycle/pipeline.cc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/pipeline.cc.o" "gcc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/pipeline.cc.o.d"
+  "/root/repo/src/neuro/cycle/rtl_mlp.cc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/rtl_mlp.cc.o" "gcc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/rtl_mlp.cc.o.d"
+  "/root/repo/src/neuro/cycle/rtl_snn.cc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/rtl_snn.cc.o" "gcc" "src/CMakeFiles/neuro_cycle.dir/neuro/cycle/rtl_snn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/neuro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/neuro_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/neuro_mlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/neuro_snn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/neuro_datasets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

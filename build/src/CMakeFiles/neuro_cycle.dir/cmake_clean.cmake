@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/event_queue.cc.o"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/event_queue.cc.o.d"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/event_sim.cc.o"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/event_sim.cc.o.d"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/folded_mlp_sim.cc.o"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/folded_mlp_sim.cc.o.d"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/folded_snn_sim.cc.o"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/folded_snn_sim.cc.o.d"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/pipeline.cc.o"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/pipeline.cc.o.d"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/rtl_mlp.cc.o"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/rtl_mlp.cc.o.d"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/rtl_snn.cc.o"
+  "CMakeFiles/neuro_cycle.dir/neuro/cycle/rtl_snn.cc.o.d"
+  "libneuro_cycle.a"
+  "libneuro_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuro_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neuro/datasets/augment.cc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/augment.cc.o" "gcc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/augment.cc.o.d"
+  "/root/repo/src/neuro/datasets/dataset.cc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/dataset.cc.o" "gcc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/dataset.cc.o.d"
+  "/root/repo/src/neuro/datasets/glyphs.cc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/glyphs.cc.o" "gcc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/glyphs.cc.o.d"
+  "/root/repo/src/neuro/datasets/idx_loader.cc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/idx_loader.cc.o" "gcc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/idx_loader.cc.o.d"
+  "/root/repo/src/neuro/datasets/shapes.cc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/shapes.cc.o" "gcc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/shapes.cc.o.d"
+  "/root/repo/src/neuro/datasets/spoken_digits.cc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/spoken_digits.cc.o" "gcc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/spoken_digits.cc.o.d"
+  "/root/repo/src/neuro/datasets/synth_digits.cc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/synth_digits.cc.o" "gcc" "src/CMakeFiles/neuro_datasets.dir/neuro/datasets/synth_digits.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/neuro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/augment.cc.o"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/augment.cc.o.d"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/dataset.cc.o"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/dataset.cc.o.d"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/glyphs.cc.o"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/glyphs.cc.o.d"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/idx_loader.cc.o"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/idx_loader.cc.o.d"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/shapes.cc.o"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/shapes.cc.o.d"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/spoken_digits.cc.o"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/spoken_digits.cc.o.d"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/synth_digits.cc.o"
+  "CMakeFiles/neuro_datasets.dir/neuro/datasets/synth_digits.cc.o.d"
+  "libneuro_datasets.a"
+  "libneuro_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuro_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

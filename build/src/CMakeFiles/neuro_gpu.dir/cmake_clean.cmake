@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuro_gpu.dir/neuro/gpu/gpu_model.cc.o"
+  "CMakeFiles/neuro_gpu.dir/neuro/gpu/gpu_model.cc.o.d"
+  "libneuro_gpu.a"
+  "libneuro_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuro_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

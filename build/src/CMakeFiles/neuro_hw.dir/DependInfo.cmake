@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neuro/hw/design.cc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/design.cc.o" "gcc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/design.cc.o.d"
+  "/root/repo/src/neuro/hw/expanded.cc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/expanded.cc.o" "gcc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/expanded.cc.o.d"
+  "/root/repo/src/neuro/hw/folded.cc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/folded.cc.o" "gcc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/folded.cc.o.d"
+  "/root/repo/src/neuro/hw/operators.cc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/operators.cc.o" "gcc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/operators.cc.o.d"
+  "/root/repo/src/neuro/hw/pareto.cc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/pareto.cc.o" "gcc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/pareto.cc.o.d"
+  "/root/repo/src/neuro/hw/scaling.cc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/scaling.cc.o" "gcc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/scaling.cc.o.d"
+  "/root/repo/src/neuro/hw/sram.cc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/sram.cc.o" "gcc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/sram.cc.o.d"
+  "/root/repo/src/neuro/hw/stdp_hw.cc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/stdp_hw.cc.o" "gcc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/stdp_hw.cc.o.d"
+  "/root/repo/src/neuro/hw/tech.cc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/tech.cc.o" "gcc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/tech.cc.o.d"
+  "/root/repo/src/neuro/hw/truenorth.cc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/truenorth.cc.o" "gcc" "src/CMakeFiles/neuro_hw.dir/neuro/hw/truenorth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/neuro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuro_hw.dir/neuro/hw/design.cc.o"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/design.cc.o.d"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/expanded.cc.o"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/expanded.cc.o.d"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/folded.cc.o"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/folded.cc.o.d"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/operators.cc.o"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/operators.cc.o.d"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/pareto.cc.o"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/pareto.cc.o.d"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/scaling.cc.o"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/scaling.cc.o.d"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/sram.cc.o"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/sram.cc.o.d"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/stdp_hw.cc.o"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/stdp_hw.cc.o.d"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/tech.cc.o"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/tech.cc.o.d"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/truenorth.cc.o"
+  "CMakeFiles/neuro_hw.dir/neuro/hw/truenorth.cc.o.d"
+  "libneuro_hw.a"
+  "libneuro_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuro_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

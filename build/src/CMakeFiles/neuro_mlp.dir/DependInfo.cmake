@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neuro/mlp/activation.cc" "src/CMakeFiles/neuro_mlp.dir/neuro/mlp/activation.cc.o" "gcc" "src/CMakeFiles/neuro_mlp.dir/neuro/mlp/activation.cc.o.d"
+  "/root/repo/src/neuro/mlp/backprop.cc" "src/CMakeFiles/neuro_mlp.dir/neuro/mlp/backprop.cc.o" "gcc" "src/CMakeFiles/neuro_mlp.dir/neuro/mlp/backprop.cc.o.d"
+  "/root/repo/src/neuro/mlp/mlp.cc" "src/CMakeFiles/neuro_mlp.dir/neuro/mlp/mlp.cc.o" "gcc" "src/CMakeFiles/neuro_mlp.dir/neuro/mlp/mlp.cc.o.d"
+  "/root/repo/src/neuro/mlp/quantized.cc" "src/CMakeFiles/neuro_mlp.dir/neuro/mlp/quantized.cc.o" "gcc" "src/CMakeFiles/neuro_mlp.dir/neuro/mlp/quantized.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/neuro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/neuro_datasets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuro_mlp.dir/neuro/mlp/activation.cc.o"
+  "CMakeFiles/neuro_mlp.dir/neuro/mlp/activation.cc.o.d"
+  "CMakeFiles/neuro_mlp.dir/neuro/mlp/backprop.cc.o"
+  "CMakeFiles/neuro_mlp.dir/neuro/mlp/backprop.cc.o.d"
+  "CMakeFiles/neuro_mlp.dir/neuro/mlp/mlp.cc.o"
+  "CMakeFiles/neuro_mlp.dir/neuro/mlp/mlp.cc.o.d"
+  "CMakeFiles/neuro_mlp.dir/neuro/mlp/quantized.cc.o"
+  "CMakeFiles/neuro_mlp.dir/neuro/mlp/quantized.cc.o.d"
+  "libneuro_mlp.a"
+  "libneuro_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuro_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

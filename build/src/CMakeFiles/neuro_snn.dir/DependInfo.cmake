@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neuro/snn/analysis.cc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/analysis.cc.o" "gcc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/analysis.cc.o.d"
+  "/root/repo/src/neuro/snn/coding.cc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/coding.cc.o" "gcc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/coding.cc.o.d"
+  "/root/repo/src/neuro/snn/homeostasis.cc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/homeostasis.cc.o" "gcc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/homeostasis.cc.o.d"
+  "/root/repo/src/neuro/snn/labeling.cc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/labeling.cc.o" "gcc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/labeling.cc.o.d"
+  "/root/repo/src/neuro/snn/lif.cc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/lif.cc.o" "gcc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/lif.cc.o.d"
+  "/root/repo/src/neuro/snn/network.cc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/network.cc.o" "gcc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/network.cc.o.d"
+  "/root/repo/src/neuro/snn/serialize.cc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/serialize.cc.o" "gcc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/serialize.cc.o.d"
+  "/root/repo/src/neuro/snn/snn_bp.cc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/snn_bp.cc.o" "gcc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/snn_bp.cc.o.d"
+  "/root/repo/src/neuro/snn/snn_wot.cc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/snn_wot.cc.o" "gcc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/snn_wot.cc.o.d"
+  "/root/repo/src/neuro/snn/stdp.cc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/stdp.cc.o" "gcc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/stdp.cc.o.d"
+  "/root/repo/src/neuro/snn/trainer.cc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/trainer.cc.o" "gcc" "src/CMakeFiles/neuro_snn.dir/neuro/snn/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/neuro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/neuro_datasets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

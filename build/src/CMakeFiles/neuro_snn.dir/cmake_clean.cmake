@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuro_snn.dir/neuro/snn/analysis.cc.o"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/analysis.cc.o.d"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/coding.cc.o"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/coding.cc.o.d"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/homeostasis.cc.o"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/homeostasis.cc.o.d"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/labeling.cc.o"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/labeling.cc.o.d"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/lif.cc.o"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/lif.cc.o.d"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/network.cc.o"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/network.cc.o.d"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/serialize.cc.o"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/serialize.cc.o.d"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/snn_bp.cc.o"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/snn_bp.cc.o.d"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/snn_wot.cc.o"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/snn_wot.cc.o.d"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/stdp.cc.o"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/stdp.cc.o.d"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/trainer.cc.o"
+  "CMakeFiles/neuro_snn.dir/neuro/snn/trainer.cc.o.d"
+  "libneuro_snn.a"
+  "libneuro_snn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuro_snn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homeostasis.dir/test_homeostasis.cc.o"
+  "CMakeFiles/test_homeostasis.dir/test_homeostasis.cc.o.d"
+  "test_homeostasis"
+  "test_homeostasis.pdb"
+  "test_homeostasis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homeostasis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

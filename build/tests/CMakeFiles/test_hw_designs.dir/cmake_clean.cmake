@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_designs.dir/test_hw_designs.cc.o"
+  "CMakeFiles/test_hw_designs.dir/test_hw_designs.cc.o.d"
+  "test_hw_designs"
+  "test_hw_designs.pdb"
+  "test_hw_designs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_operators.dir/test_hw_operators.cc.o"
+  "CMakeFiles/test_hw_operators.dir/test_hw_operators.cc.o.d"
+  "test_hw_operators"
+  "test_hw_operators.pdb"
+  "test_hw_operators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_properties.dir/test_hw_properties.cc.o"
+  "CMakeFiles/test_hw_properties.dir/test_hw_properties.cc.o.d"
+  "test_hw_properties"
+  "test_hw_properties.pdb"
+  "test_hw_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

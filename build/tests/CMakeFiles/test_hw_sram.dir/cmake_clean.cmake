@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_sram.dir/test_hw_sram.cc.o"
+  "CMakeFiles/test_hw_sram.dir/test_hw_sram.cc.o.d"
+  "test_hw_sram"
+  "test_hw_sram.pdb"
+  "test_hw_sram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

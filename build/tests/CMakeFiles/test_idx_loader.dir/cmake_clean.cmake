@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idx_loader.dir/test_idx_loader.cc.o"
+  "CMakeFiles/test_idx_loader.dir/test_idx_loader.cc.o.d"
+  "test_idx_loader"
+  "test_idx_loader.pdb"
+  "test_idx_loader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idx_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

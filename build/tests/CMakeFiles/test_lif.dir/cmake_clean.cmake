@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lif.dir/test_lif.cc.o"
+  "CMakeFiles/test_lif.dir/test_lif.cc.o.d"
+  "test_lif"
+  "test_lif.pdb"
+  "test_lif[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlp_deep.dir/test_mlp_deep.cc.o"
+  "CMakeFiles/test_mlp_deep.dir/test_mlp_deep.cc.o.d"
+  "test_mlp_deep"
+  "test_mlp_deep.pdb"
+  "test_mlp_deep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlp_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pareto_augment.dir/test_pareto_augment.cc.o"
+  "CMakeFiles/test_pareto_augment.dir/test_pareto_augment.cc.o.d"
+  "test_pareto_augment"
+  "test_pareto_augment.pdb"
+  "test_pareto_augment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pareto_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaling_metrics.dir/test_scaling_metrics.cc.o"
+  "CMakeFiles/test_scaling_metrics.dir/test_scaling_metrics.cc.o.d"
+  "test_scaling_metrics"
+  "test_scaling_metrics.pdb"
+  "test_scaling_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaling_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snn_properties.dir/test_snn_properties.cc.o"
+  "CMakeFiles/test_snn_properties.dir/test_snn_properties.cc.o.d"
+  "test_snn_properties"
+  "test_snn_properties.pdb"
+  "test_snn_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snn_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

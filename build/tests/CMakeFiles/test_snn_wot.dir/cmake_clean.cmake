@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snn_wot.dir/test_snn_wot.cc.o"
+  "CMakeFiles/test_snn_wot.dir/test_snn_wot.cc.o.d"
+  "test_snn_wot"
+  "test_snn_wot.pdb"
+  "test_snn_wot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snn_wot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_snn_wot.
+# This may be replaced when dependencies are built.

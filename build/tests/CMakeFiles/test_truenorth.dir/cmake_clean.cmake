@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truenorth.dir/test_truenorth.cc.o"
+  "CMakeFiles/test_truenorth.dir/test_truenorth.cc.o.d"
+  "test_truenorth"
+  "test_truenorth.pdb"
+  "test_truenorth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truenorth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truenorth_system.dir/test_truenorth_system.cc.o"
+  "CMakeFiles/test_truenorth_system.dir/test_truenorth_system.cc.o.d"
+  "test_truenorth_system"
+  "test_truenorth_system.pdb"
+  "test_truenorth_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truenorth_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

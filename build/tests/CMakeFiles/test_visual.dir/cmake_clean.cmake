@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_visual.dir/test_visual.cc.o"
+  "CMakeFiles/test_visual.dir/test_visual.cc.o.d"
+  "test_visual"
+  "test_visual.pdb"
+  "test_visual[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_visual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

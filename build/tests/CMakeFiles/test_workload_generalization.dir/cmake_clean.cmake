@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_generalization.dir/test_workload_generalization.cc.o"
+  "CMakeFiles/test_workload_generalization.dir/test_workload_generalization.cc.o.d"
+  "test_workload_generalization"
+  "test_workload_generalization.pdb"
+  "test_workload_generalization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurocmp.dir/neurocmp_cli.cpp.o"
+  "CMakeFiles/neurocmp.dir/neurocmp_cli.cpp.o.d"
+  "neurocmp"
+  "neurocmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurocmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli.list "/root/repo/build/tools/neurocmp" "list")
+set_tests_properties(cli.list PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.hw "/root/repo/build/tools/neurocmp" "hw" "train=200" "test=50")
+set_tests_properties(cli.hw PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.sweep_coding "/root/repo/build/tools/neurocmp" "sweep" "what=coding" "train=200" "test=60")
+set_tests_properties(cli.sweep_coding PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.train_eval_roundtrip "sh" "-c" "/root/repo/build/tools/neurocmp train-snn save=/tmp/cli_model.ncmp               train=300 test=80 &&               /root/repo/build/tools/neurocmp eval-snn load=/tmp/cli_model.ncmp               train=300 test=80 && rm -f /tmp/cli_model.ncmp")
+set_tests_properties(cli.train_eval_roundtrip PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
