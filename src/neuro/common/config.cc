@@ -85,11 +85,21 @@ void
 Config::parseArgs(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
-        const char *eq = std::strchr(argv[i], '=');
-        if (!eq || eq == argv[i])
+        const char *token = argv[i];
+        // `--key=value` and bare `--flag` (stored as "1") are accepted
+        // alongside plain `key=value`; dashes inside the key map to
+        // underscores so `--stats-dump` and NEURO_STATS_DUMP agree.
+        const bool dashed = token[0] == '-' && token[1] == '-';
+        if (dashed)
+            token += 2;
+        const char *eq = std::strchr(token, '=');
+        if (eq == token || (!eq && !dashed))
             continue;
-        set(std::string(argv[i], static_cast<std::size_t>(eq - argv[i])),
-            std::string(eq + 1));
+        std::string key = eq ? std::string(token, eq) : std::string(token);
+        if (key.empty())
+            continue;
+        std::replace(key.begin(), key.end(), '-', '_');
+        set(key, eq ? std::string(eq + 1) : std::string("1"));
     }
 }
 

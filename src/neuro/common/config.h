@@ -38,8 +38,10 @@ class Config
     bool getBool(const std::string &key, bool fallback) const;
 
     /**
-     * Parse `key=value` tokens from an argv vector; non-matching tokens
-     * are ignored so benches can coexist with other flags.
+     * Parse `key=value`, `--key=value` and bare `--flag` tokens (the
+     * last stored as "1") from an argv vector; dashes inside keys map
+     * to underscores. Non-matching tokens are ignored so benches can
+     * coexist with other flags.
      */
     void parseArgs(int argc, char **argv);
 

@@ -1,38 +1,46 @@
 #include "neuro/common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace neuro {
 
 namespace {
-LogLevel g_level = LogLevel::Normal;
+std::atomic<LogLevel> g_level{LogLevel::Normal};
 
+/**
+ * Each message is emitted under a single stream lock so that
+ * multi-threaded callers (profiler-instrumented benches) never
+ * interleave tag, body and newline of concurrent messages.
+ */
 void
 vprint(const char *tag, const char *fmt, va_list ap)
 {
+    flockfile(stderr);
     std::fprintf(stderr, "%s", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
+    funlockfile(stderr);
 }
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Normal)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Normal)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -43,7 +51,7 @@ inform(const char *fmt, ...)
 void
 verbose(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Verbose)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Verbose)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -54,7 +62,7 @@ verbose(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Normal)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Normal)
         return;
     va_list ap;
     va_start(ap, fmt);

@@ -1,0 +1,167 @@
+#include "neuro/common/profile.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "neuro/common/config.h"
+#include "neuro/common/logging.h"
+
+namespace neuro {
+
+namespace {
+
+/** Flush sinks when the process ends (registered at most once). */
+void
+observabilityAtExit()
+{
+    if (Profiler::enabled())
+        Profiler::instance().dump(std::cerr);
+    Tracer::instance().stop();
+}
+
+void
+registerAtExitOnce()
+{
+    static bool registered = false;
+    if (registered)
+        return;
+    registered = true;
+    std::atexit(observabilityAtExit);
+}
+
+/**
+ * Environment-only bootstrap: NEURO_TRACE / NEURO_STATS_DUMP turn the
+ * sinks on in any binary linking this library, so every bench and
+ * example can record without code changes. Config-driven setup
+ * (initObservability) still applies on top for the CLI.
+ */
+struct EnvObservabilityInit
+{
+    EnvObservabilityInit()
+    {
+        const char *trace = std::getenv("NEURO_TRACE");
+        const char *dump = std::getenv("NEURO_STATS_DUMP");
+        bool any = false;
+        if (trace && *trace)
+            any = Tracer::instance().start(trace);
+        if (dump && *dump && std::string(dump) != "0") {
+            Profiler::instance().setEnabled(true);
+            any = true;
+        } else if (any) {
+            // A trace without timings is half a story; keep them in sync.
+            Profiler::instance().setEnabled(true);
+        }
+        if (any)
+            registerAtExitOnce();
+    }
+};
+
+EnvObservabilityInit g_envObservabilityInit;
+
+} // namespace
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+    active_.store(on, std::memory_order_relaxed);
+}
+
+void
+Profiler::recordScope(const char *name, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.sample(std::string("scope/") + name, seconds);
+}
+
+void
+Profiler::inc(const std::string &name, uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.inc(name, delta);
+}
+
+uint64_t
+Profiler::incAndGet(const std::string &name, uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.inc(name, delta);
+    return stats_.counter(name);
+}
+
+void
+Profiler::sample(const std::string &name, double v)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.sample(name, v);
+}
+
+StatRegistry
+Profiler::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+Profiler::dump(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.dump(os);
+}
+
+void
+Profiler::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.reset();
+}
+
+void
+obsCount(const char *name, uint64_t delta)
+{
+    const bool profile = Profiler::enabled();
+    const bool trace = Tracer::enabled();
+    if (!profile && !trace)
+        return;
+    const uint64_t total = Profiler::instance().incAndGet(name, delta);
+    if (trace)
+        Tracer::instance().counter(name, static_cast<double>(total));
+}
+
+void
+obsSample(const char *name, double v)
+{
+    const bool profile = Profiler::enabled();
+    const bool trace = Tracer::enabled();
+    if (!profile && !trace)
+        return;
+    if (profile)
+        Profiler::instance().sample(name, v);
+    if (trace)
+        Tracer::instance().counter(name, v);
+}
+
+void
+initObservability(const Config &cfg)
+{
+    const std::string trace = cfg.getString("trace", "");
+    const bool dump = cfg.getBool("stats_dump", false);
+    bool any = false;
+    if (!trace.empty())
+        any = Tracer::instance().start(trace) || any;
+    if (dump || any) {
+        Profiler::instance().setEnabled(true);
+        any = true;
+    }
+    if (any)
+        registerAtExitOnce();
+}
+
+} // namespace neuro

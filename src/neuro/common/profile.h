@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Scoped profiler and observability entry points. The profiling layer
+ * has two halves that share one on/off discipline:
+ *
+ * - Profiler: a process-wide, thread-safe StatRegistry that aggregates
+ *   per-scope wall-clock timings (count/total/min/max under
+ *   "scope/<name>") plus domain counters and distributions recorded
+ *   through obsCount()/obsSample().
+ * - Tracer (trace.h): a Chrome trace_event JSON sink receiving
+ *   begin/end events for the same scopes and counter/instant events
+ *   for the same domain signals.
+ *
+ * Instrument a region with the RAII macro:
+ *
+ *     void train(...) {
+ *         NEURO_PROFILE_SCOPE("snn/train");
+ *         ...
+ *     }
+ *
+ * When both the profiler and the tracer are disabled (the default) a
+ * scope costs two relaxed atomic loads and records nothing; counters
+ * cost one. Enable collection programmatically, with the config keys
+ * `trace=<path>` / `stats_dump=1` via initObservability(), or with the
+ * NEURO_TRACE / NEURO_STATS_DUMP environment variables, which work in
+ * any binary linking neuro_common with no code changes.
+ */
+
+#ifndef NEURO_COMMON_PROFILE_H
+#define NEURO_COMMON_PROFILE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "neuro/common/stats.h"
+#include "neuro/common/trace.h"
+
+namespace neuro {
+
+class Config;
+
+/** Process-wide aggregation point for scope timings and counters. */
+class Profiler
+{
+  public:
+    /** @return the process-wide profiler. */
+    static Profiler &instance();
+
+    /** @return true if the profiler is collecting (cheap). */
+    static bool
+    enabled()
+    {
+        return instance().active_.load(std::memory_order_relaxed);
+    }
+
+    /** Turn collection on or off. */
+    void setEnabled(bool on);
+
+    /** Record one completed scope invocation of @p seconds. */
+    void recordScope(const char *name, double seconds);
+
+    /** Increment the named counter (thread-safe). */
+    void inc(const std::string &name, uint64_t delta = 1);
+
+    /** @return the counter's value after adding @p delta. */
+    uint64_t incAndGet(const std::string &name, uint64_t delta);
+
+    /** Record a distribution sample (thread-safe). */
+    void sample(const std::string &name, double v);
+
+    /** @return a consistent copy of the collected statistics. */
+    StatRegistry snapshot() const;
+
+    /** Dump every collected statistic (scope timings in seconds). */
+    void dump(std::ostream &os) const;
+
+    /** Forget everything collected so far (collection state kept). */
+    void reset();
+
+  private:
+    Profiler() = default;
+    Profiler(const Profiler &) = delete;
+    Profiler &operator=(const Profiler &) = delete;
+
+    std::atomic<bool> active_{false};
+    mutable std::mutex mutex_;
+    StatRegistry stats_;
+};
+
+/**
+ * RAII scope timer: feeds the Profiler ("scope/<name>" distribution,
+ * seconds per invocation) and brackets the region with begin/end trace
+ * events. Inert when both sinks are off.
+ */
+class ProfileScope
+{
+  public:
+    explicit ProfileScope(const char *name)
+    {
+        const bool profile = Profiler::enabled();
+        const bool trace = Tracer::enabled();
+        if (!profile && !trace)
+            return;
+        name_ = name;
+        profiled_ = profile;
+        traced_ = trace;
+        if (traced_)
+            Tracer::instance().begin(name_);
+        start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ProfileScope()
+    {
+        if (!name_)
+            return;
+        if (profiled_) {
+            const auto dt = std::chrono::steady_clock::now() - start_;
+            Profiler::instance().recordScope(
+                name_, std::chrono::duration<double>(dt).count());
+        }
+        if (traced_)
+            Tracer::instance().end(name_);
+    }
+
+    ProfileScope(const ProfileScope &) = delete;
+    ProfileScope &operator=(const ProfileScope &) = delete;
+
+  private:
+    const char *name_ = nullptr;
+    bool profiled_ = false;
+    bool traced_ = false;
+    std::chrono::steady_clock::time_point start_;
+};
+
+#define NEURO_PROFILE_CONCAT2(a, b) a##b
+#define NEURO_PROFILE_CONCAT(a, b) NEURO_PROFILE_CONCAT2(a, b)
+
+/** Time the enclosing scope under the given hierarchical name. */
+#define NEURO_PROFILE_SCOPE(name)                                       \
+    ::neuro::ProfileScope NEURO_PROFILE_CONCAT(neuroProfileScope_,      \
+                                               __LINE__)(name)
+
+/** @return true if either observability sink is collecting. */
+inline bool
+obsEnabled()
+{
+    return Profiler::enabled() || Tracer::enabled();
+}
+
+/**
+ * Record a domain counter: bumps the Profiler counter and, when
+ * tracing, plots the new cumulative value as a Chrome counter series.
+ * No-op (one relaxed load) when observability is off.
+ */
+void obsCount(const char *name, uint64_t delta = 1);
+
+/**
+ * Record a domain distribution sample; when tracing, also plots the
+ * sample as a Chrome counter series (a gauge over time).
+ */
+void obsSample(const char *name, double v);
+
+/**
+ * Wire observability up from a parsed Config: `trace=<path>` starts
+ * the Chrome-trace sink, `stats_dump=1` (or any truthy value) enables
+ * the profiler and dumps its registry to stderr at process exit; a
+ * trace also enables the profiler so scope timings and the trace
+ * agree. The CLI exposes these as --trace=<path> / --stats-dump, and
+ * parseEnv() maps NEURO_TRACE / NEURO_STATS_DUMP onto the same keys.
+ */
+void initObservability(const Config &cfg);
+
+} // namespace neuro
+
+#endif // NEURO_COMMON_PROFILE_H

@@ -102,8 +102,9 @@ StatRegistry::dump(std::ostream &os) const
         os << std::left << std::setw(40) << name << v << "\n";
     for (const auto &[name, d] : distributions_) {
         os << std::left << std::setw(40) << name << "n=" << d.count()
-           << " mean=" << d.mean() << " sd=" << d.stddev()
-           << " min=" << d.min() << " max=" << d.max() << "\n";
+           << " total=" << d.sum() << " mean=" << d.mean()
+           << " sd=" << d.stddev() << " min=" << d.min()
+           << " max=" << d.max() << "\n";
     }
     os << "---------------------------\n";
 }

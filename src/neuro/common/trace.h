@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Structured trace-event sink emitting Chrome `trace_event` JSON
+ * (open the file in Perfetto or chrome://tracing). The process-wide
+ * Tracer records four kinds of events:
+ *
+ * - begin/end duration pairs bracketing profiled scopes
+ *   (see NEURO_PROFILE_SCOPE in profile.h);
+ * - instant events marking a point in time (a neuron fired, an SRAM
+ *   array was built);
+ * - counter events plotting a numeric series over time (spikes per
+ *   tick, cumulative SRAM reads, event-queue depth).
+ *
+ * Tracing is off by default and costs one relaxed atomic load per
+ * call site. Start it explicitly with Tracer::instance().start(path),
+ * via the `trace=<path>` config key (CLI `--trace=out.json`), or by
+ * exporting `NEURO_TRACE=<path>` — the environment form needs no code
+ * changes in the binary (see initObservability in profile.h).
+ *
+ * Events are written one per line inside a JSON array; the writer is
+ * thread-safe and timestamps (microseconds since start()) are taken
+ * under the same lock that orders the writes, so file order is
+ * timestamp order.
+ */
+
+#ifndef NEURO_COMMON_TRACE_H
+#define NEURO_COMMON_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace neuro {
+
+/** Process-wide Chrome trace_event JSON writer. */
+class Tracer
+{
+  public:
+    /** @return the process-wide tracer. */
+    static Tracer &instance();
+
+    /** @return true if the tracer is recording (cheap; callers should
+     *  gate event construction on this). */
+    static bool
+    enabled()
+    {
+        return instance().active_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Open @p path and start recording. Returns false (and warns) if
+     * the file cannot be opened or a trace is already active.
+     */
+    bool start(const std::string &path);
+
+    /** Finish the JSON array and close the file. Idempotent. */
+    void stop();
+
+    /** Emit a duration-begin event for @p name. */
+    void begin(const char *name, const char *cat = "scope");
+
+    /** Emit the matching duration-end event for @p name. */
+    void end(const char *name, const char *cat = "scope");
+
+    /** Emit an instant (point-in-time) event. */
+    void instant(const char *name, const char *cat = "event");
+
+    /** Emit a counter event: plots @p value on the series @p name. */
+    void counter(const char *name, double value);
+
+    ~Tracer();
+
+  private:
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Serialize one event line; assumes mutex_ is held. */
+    void emitLocked(const char *name, const char *cat, char phase,
+                    const char *extra);
+
+    /** Microseconds since start(); assumes mutex_ is held. */
+    double elapsedUs() const;
+
+    std::atomic<bool> active_{false};
+    std::mutex mutex_;
+    std::FILE *out_ = nullptr;
+    bool firstEvent_ = true;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace neuro
+
+#endif // NEURO_COMMON_TRACE_H

@@ -35,6 +35,9 @@ class EventQueue
     /** @return true if no events remain. */
     bool empty() const { return queue_.empty(); }
 
+    /** @return number of pending events (for observability). */
+    std::size_t size() const { return queue_.size(); }
+
     /** @return the current simulation time. */
     int64_t now() const { return now_; }
 

@@ -1,6 +1,7 @@
 #include "neuro/cycle/event_sim.h"
 
 #include "neuro/common/logging.h"
+#include "neuro/common/profile.h"
 #include "neuro/cycle/event_queue.h"
 
 namespace neuro {
@@ -13,6 +14,7 @@ presentViaEventQueue(snn::SnnNetwork &net,
     NEURO_ASSERT(grid.ticks.size() ==
                      static_cast<std::size_t>(net.config().coding.periodMs),
                  "spike grid length mismatch");
+    NEURO_PROFILE_SCOPE("cycle/event_sim/present");
     EventSimResult result;
     result.ticksInWindow = grid.ticks.size();
 
@@ -27,7 +29,14 @@ presentViaEventQueue(snn::SnnNetwork &net,
                          result.presentation);
         });
     }
+    if (obsEnabled()) {
+        // Peak depth: every non-empty tick is queued before run().
+        obsSample("event_sim.queue_depth",
+                  static_cast<double>(queue.size()));
+    }
     result.eventsProcessed = queue.run();
+    if (obsEnabled())
+        obsCount("event_sim.events_processed", result.eventsProcessed);
     net.finishPresentation(learn, result.presentation);
     return result;
 }

@@ -1,6 +1,7 @@
 #include "neuro/cycle/folded_mlp_sim.h"
 
 #include "neuro/common/logging.h"
+#include "neuro/common/profile.h"
 
 namespace neuro {
 namespace cycle {
@@ -36,6 +37,7 @@ ScheduleStats
 simulateFoldedMlp(const hw::MlpTopology &topo, std::size_t ni)
 {
     NEURO_ASSERT(ni > 0, "fold factor must be positive");
+    NEURO_PROFILE_SCOPE("cycle/folded_mlp");
     ScheduleStats stats;
 
     // Bank counts mirror hw::makeSynapticStorage's geometry.
@@ -47,6 +49,12 @@ simulateFoldedMlp(const hw::MlpTopology &topo, std::size_t ni)
 
     walkLayer(stats, topo.hidden, topo.inputs, ni, hidden_banks);
     walkLayer(stats, topo.outputs, topo.hidden, ni, output_banks);
+    if (obsEnabled()) {
+        obsCount("cycle.images_simulated");
+        obsCount("cycle.sram_word_reads", stats.sramWordReads);
+        obsSample("cycle.mlp.cycles_per_image",
+                  static_cast<double>(stats.cycles));
+    }
     return stats;
 }
 

@@ -3,14 +3,33 @@
 #include <algorithm>
 
 #include "neuro/common/logging.h"
+#include "neuro/common/profile.h"
 
 namespace neuro {
 namespace cycle {
+
+namespace {
+
+/** Publish one simulated image's schedule to the observability layer. */
+void
+recordSchedule(const char *design, const ScheduleStats &stats)
+{
+    if (!obsEnabled())
+        return;
+    obsCount("cycle.images_simulated");
+    obsCount("cycle.sram_word_reads", stats.sramWordReads);
+    const std::string series =
+        std::string("cycle.") + design + ".cycles_per_image";
+    obsSample(series.c_str(), static_cast<double>(stats.cycles));
+}
+
+} // namespace
 
 ScheduleStats
 simulateFoldedSnnWot(const hw::SnnTopology &topo, std::size_t ni)
 {
     NEURO_ASSERT(ni > 0, "fold factor must be positive");
+    NEURO_PROFILE_SCOPE("cycle/folded_snn_wot");
     ScheduleStats stats;
 
     const std::size_t per_bank = std::max<std::size_t>(1, 128 / (ni * 8));
@@ -35,6 +54,7 @@ simulateFoldedSnnWot(const hw::SnnTopology &topo, std::size_t ni)
     stats.cycles += 6;
     stats.maxOps += topo.neurons > 1 ? topo.neurons - 1 : 0;
     stats.activations += topo.neurons; // threshold/potential latch.
+    recordSchedule("snn_wot", stats);
     return stats;
 }
 
@@ -44,6 +64,7 @@ simulateFoldedSnnWt(const hw::SnnTopology &topo, std::size_t ni,
 {
     NEURO_ASSERT(ni > 0, "fold factor must be positive");
     NEURO_ASSERT(!spikes_per_step.empty(), "empty presentation window");
+    NEURO_PROFILE_SCOPE("cycle/folded_snn_wt");
     ScheduleStats stats;
 
     const std::size_t per_bank = std::max<std::size_t>(1, 128 / (ni * 8));
@@ -64,6 +85,7 @@ simulateFoldedSnnWt(const hw::SnnTopology &topo, std::size_t ni,
         stats.activations += topo.neurons; // leak + threshold compare.
     }
     stats.maxOps += topo.neurons > 1 ? topo.neurons - 1 : 0;
+    recordSchedule("snn_wt", stats);
     return stats;
 }
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "neuro/common/logging.h"
+#include "neuro/common/profile.h"
 #include "neuro/common/rng.h"
 
 namespace neuro {
@@ -21,6 +22,7 @@ train(Mlp &net, const datasets::Dataset &data, const TrainConfig &config,
                  "dataset classes %d != network outputs %zu",
                  data.numClasses(), net.outputSize());
 
+    NEURO_PROFILE_SCOPE("mlp/train");
     Rng rng(config.seed);
     const std::size_t n = data.size();
     std::vector<uint32_t> order(n);
@@ -33,6 +35,7 @@ train(Mlp &net, const datasets::Dataset &data, const TrainConfig &config,
     const Activation &act = net.activation();
 
     for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        NEURO_PROFILE_SCOPE("mlp/train/epoch");
         if (config.shuffle)
             rng.shuffle(order.data(), n);
         double sq_error = 0.0;
@@ -86,6 +89,12 @@ train(Mlp &net, const datasets::Dataset &data, const TrainConfig &config,
             }
         }
 
+        if (obsEnabled()) {
+            obsCount("mlp.images_trained", n);
+            obsSample("mlp.epoch_error",
+                      sq_error /
+                          static_cast<double>(n * net.outputSize()));
+        }
         if (callback) {
             EpochReport report;
             report.epoch = epoch;
@@ -100,6 +109,7 @@ double
 evaluate(const Mlp &net, const datasets::Dataset &data)
 {
     NEURO_ASSERT(!data.empty(), "cannot evaluate on an empty dataset");
+    NEURO_PROFILE_SCOPE("mlp/eval");
     std::vector<float> input(net.inputSize());
     std::size_t correct = 0;
     for (std::size_t i = 0; i < data.size(); ++i) {

@@ -21,9 +21,11 @@
 #include "neuro/common/logging.h"
 #include "neuro/common/matrix.h"
 #include "neuro/common/pgm.h"
+#include "neuro/common/profile.h"
 #include "neuro/common/rng.h"
 #include "neuro/common/serialize.h"
 #include "neuro/common/stats.h"
+#include "neuro/common/trace.h"
 #include "neuro/common/table.h"
 
 // Workloads.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "neuro/common/logging.h"
+#include "neuro/common/profile.h"
 #include "neuro/common/rng.h"
 
 namespace neuro {
@@ -74,6 +75,10 @@ SnnNetwork::stepTick(int64_t t, const std::vector<uint16_t> &spikes,
     const std::size_t num_inputs = config_.numInputs;
 
     result.inputSpikeCount += spikes.size();
+    if (Tracer::enabled()) {
+        Tracer::instance().counter(
+            "snn.spikes_per_tick", static_cast<double>(spikes.size()));
+    }
     // Integrate the tick's synaptic drive into every ungated neuron
     // (gated = refractory or laterally inhibited).
     for (std::size_t n = 0; n < num_neurons; ++n) {
@@ -127,11 +132,16 @@ SnnNetwork::stepTick(int64_t t, const std::vector<uint16_t> &spikes,
             if (config_.wtaReset)
                 neurons_[n].potential = 0.0;
         }
+        result.wtaInhibitions += num_neurons - 1;
         if (learn) {
-            stdp_.onPostSpike(
+            const std::size_t potentiated = stdp_.onPostSpike(
                 weights_.row(static_cast<std::size_t>(fire_n)),
                 lastInputSpike_.data(), t, num_inputs);
+            result.stdpPotentiated += potentiated;
+            result.stdpDepressed += num_inputs - potentiated;
         }
+        if (Tracer::enabled())
+            Tracer::instance().instant("snn.fire", "spike");
         if (trace) {
             trace->outputSpikes.emplace_back(
                 static_cast<int>(t), static_cast<uint16_t>(fire_n));
@@ -159,12 +169,23 @@ SnnNetwork::finishPresentation(bool learn, PresentationResult &result)
     }
     if (learn)
         homeostasis_.advance(period, neurons_.data(), neurons_.size());
+
+    if (obsEnabled()) {
+        obsCount("snn.input_spikes", result.inputSpikeCount);
+        obsCount("snn.output_spikes", result.outputSpikeCount);
+        obsCount("snn.wta_inhibitions", result.wtaInhibitions);
+        if (learn) {
+            obsCount("snn.stdp_potentiations", result.stdpPotentiated);
+            obsCount("snn.stdp_depressions", result.stdpDepressed);
+        }
+    }
 }
 
 PresentationResult
 SnnNetwork::presentImage(const SpikeTrainGrid &grid, bool learn,
                          PresentationTrace *trace)
 {
+    NEURO_PROFILE_SCOPE("snn/present");
     const std::size_t num_neurons = config_.numNeurons;
     const int period = config_.coding.periodMs;
     NEURO_ASSERT(grid.ticks.size() == static_cast<std::size_t>(period),

@@ -79,6 +79,9 @@ struct PresentationResult
     int maxPotentialNeuron = -1;   ///< argmax of end-of-window potential.
     std::size_t inputSpikeCount = 0;  ///< total input spikes seen.
     std::size_t outputSpikeCount = 0; ///< total output spikes fired.
+    std::size_t wtaInhibitions = 0;   ///< peers gated by WTA firings.
+    std::size_t stdpPotentiated = 0;  ///< synapses potentiated (learn).
+    std::size_t stdpDepressed = 0;    ///< synapses depressed (learn).
     std::vector<uint16_t> spikeCountPerNeuron; ///< output spikes/neuron.
 
     /** Winner under the requested readout (falls back to max potential

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "neuro/common/logging.h"
+#include "neuro/common/profile.h"
 #include "neuro/common/rng.h"
 #include "neuro/snn/labeling.h"
 
@@ -24,12 +25,14 @@ SnnStdpTrainer::train(SnnNetwork &net, const datasets::Dataset &data,
                  "dataset input size %zu != SNN inputs %zu",
                  data.inputSize(), net.config().numInputs);
 
+    NEURO_PROFILE_SCOPE("snn/train");
     Rng rng(config.seed);
     const std::size_t n = data.size();
     std::vector<uint32_t> order(n);
     rng.shuffle(order.data(), n);
 
     for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        NEURO_PROFILE_SCOPE("snn/train/epoch");
         if (config.shuffle)
             rng.shuffle(order.data(), n);
         SnnEpochReport report;
@@ -56,6 +59,11 @@ SnnStdpTrainer::train(SnnNetwork &net, const datasets::Dataset &data,
                                        r.firstSpikeTimeMs));
                 }
             }
+        }
+        if (obsEnabled()) {
+            obsCount("snn.images_presented", n);
+            obsSample("snn.epoch_output_spikes",
+                      static_cast<double>(report.outputSpikes));
         }
         if (callback)
             callback(report);
@@ -90,6 +98,7 @@ SnnStdpTrainer::labelNeurons(SnnNetwork &net, const datasets::Dataset &data,
                              EvalMode mode, uint64_t seed)
 {
     NEURO_ASSERT(!data.empty(), "cannot label on an empty dataset");
+    NEURO_PROFILE_SCOPE("snn/label");
     Rng rng(seed);
     SelfLabeling labeling(net.config().numNeurons, data.numClasses());
     for (std::size_t i = 0; i < data.size(); ++i) {
@@ -109,6 +118,7 @@ SnnStdpTrainer::evaluate(SnnNetwork &net, const std::vector<int> &labels,
     NEURO_ASSERT(labels.size() == net.config().numNeurons,
                  "labels size mismatch");
     NEURO_ASSERT(!data.empty(), "cannot evaluate on an empty dataset");
+    NEURO_PROFILE_SCOPE("snn/eval");
     Rng rng(seed);
     SnnEvalResult result;
     std::size_t correct = 0;

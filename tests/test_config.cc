@@ -51,6 +51,21 @@ TEST(Config, ParseArgsKeyValueOnly)
     EXPECT_EQ(cfg.getString("x", ""), "y=z");
     EXPECT_FALSE(cfg.has("--flag"));
     EXPECT_FALSE(cfg.has(""));
+    // Bare `--flag` is stored as a truthy key, dashes normalized.
+    EXPECT_TRUE(cfg.getBool("flag", false));
+}
+
+TEST(Config, ParseArgsDashedFlags)
+{
+    Config cfg;
+    const char *argv[] = {"prog", "--trace=out.json", "--stats-dump",
+                          "accuracy", "-x"};
+    cfg.parseArgs(5, const_cast<char **>(argv));
+    EXPECT_EQ(cfg.getString("trace", ""), "out.json");
+    EXPECT_TRUE(cfg.getBool("stats_dump", false));
+    // Subcommand words and single-dash tokens are left alone.
+    EXPECT_FALSE(cfg.has("accuracy"));
+    EXPECT_FALSE(cfg.has("x"));
 }
 
 TEST(Config, ParseEnvPicksUpPrefixedVars)

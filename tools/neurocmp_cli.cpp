@@ -8,9 +8,15 @@
  *   neurocmp sweep      what=neurons|slope|coding  # Figures 8/6/14
  *   neurocmp train-snn  save=model.ncmp [train=N]  # train + save
  *   neurocmp eval-snn   load=model.ncmp [test=N]   # load + evaluate
+ *   neurocmp stats      [train=N test=N]           # observability demo
  *
  * All subcommands accept key=value overrides and NEURO_* environment
  * variables; `neurocmp list` shows the mapping to paper experiments.
+ * Every subcommand additionally understands --trace=<path> (record a
+ * Chrome-trace JSON viewable in Perfetto) and --stats-dump (print the
+ * per-scope timing/counter registry at exit); NEURO_TRACE and
+ * NEURO_STATS_DUMP do the same from the environment — there, and for
+ * every bench binary, no flags are needed (see docs/observability.md).
  */
 
 #include <cstdio>
@@ -19,6 +25,7 @@
 
 #include "neuro/common/config.h"
 #include "neuro/common/logging.h"
+#include "neuro/common/profile.h"
 #include "neuro/common/rng.h"
 #include "neuro/common/serialize.h"
 #include "neuro/common/table.h"
@@ -26,6 +33,9 @@
 #include "neuro/core/experiment.h"
 #include "neuro/core/explorer.h"
 #include "neuro/core/reports.h"
+#include "neuro/cycle/folded_mlp_sim.h"
+#include "neuro/cycle/folded_snn_sim.h"
+#include "neuro/mlp/backprop.h"
 #include "neuro/snn/serialize.h"
 
 namespace {
@@ -43,8 +53,14 @@ cmdList()
         "(Fig 14)\n"
         "  train-snn  train SNN+STDP and save to save=<path>\n"
         "  eval-snn   evaluate a saved model from load=<path>\n"
+        "  stats      run a small instrumented train + folded-sim demo\n"
+        "             and dump the profiler registry\n"
         "common options: train=N test=N workload=mnist|mpeg7|sad, and\n"
         "NEURO_SCALE / NEURO_MNIST_DIR environment variables.\n"
+        "observability (all subcommands): --trace=<out.json> records a\n"
+        "Chrome trace (Perfetto); --stats-dump prints scope timings and\n"
+        "counters at exit; NEURO_TRACE / NEURO_STATS_DUMP do the same\n"
+        "for any binary, benches included (docs/observability.md).\n"
         "for the full per-table reproduction, run the bench/ binaries.\n");
     return 0;
 }
@@ -172,6 +188,58 @@ cmdTrainSnn(const Config &cfg)
     return 0;
 }
 
+/**
+ * Observability self-demo: a short instrumented SNN+STDP train/eval, an
+ * MLP epoch, and one folded-schedule simulation of each design, then a
+ * dump of everything the profiler collected. With --trace=<path> the
+ * same run produces a Chrome trace of all the scopes it exercised.
+ */
+int
+cmdStats(const Config &cfg)
+{
+    Profiler::instance().setEnabled(true);
+
+    Config demo = cfg;
+    if (!cfg.has("train"))
+        demo.set("train", "300");
+    if (!cfg.has("test"))
+        demo.set("test", "80");
+    const core::Workload w = loadWorkload(demo);
+
+    {
+        NEURO_PROFILE_SCOPE("cli/stats/snn");
+        const snn::SnnConfig config =
+            core::defaultSnnConfig(w, w.data.train.size());
+        Rng rng(7);
+        snn::SnnNetwork net(config, rng);
+        snn::SnnStdpTrainer trainer(config);
+        snn::SnnTrainConfig train;
+        train.epochs = 1;
+        trainer.train(net, w.data.train, train);
+        const auto labels = trainer.labelNeurons(net, w.data.train,
+                                                 snn::EvalMode::Wt, 9);
+        trainer.evaluate(net, labels, w.data.test, snn::EvalMode::Wt, 10);
+    }
+    {
+        NEURO_PROFILE_SCOPE("cli/stats/mlp");
+        mlp::MlpConfig config;
+        config.layerSizes = {w.mlpTopo.inputs, w.mlpTopo.hidden,
+                             w.mlpTopo.outputs};
+        mlp::TrainConfig train;
+        train.epochs = 1;
+        mlp::trainAndEvaluate(config, train, w.data.train, w.data.test,
+                              13);
+    }
+    {
+        NEURO_PROFILE_SCOPE("cli/stats/cycle");
+        cycle::simulateFoldedMlp(w.mlpTopo, 16);
+        cycle::simulateFoldedSnnWot(w.snnTopo, 16);
+    }
+
+    Profiler::instance().dump(std::cout);
+    return 0;
+}
+
 int
 cmdEvalSnn(const Config &cfg)
 {
@@ -207,6 +275,7 @@ main(int argc, char **argv)
     Config cfg;
     cfg.parseEnv();
     cfg.parseArgs(argc, argv);
+    initObservability(cfg);
     const char *cmd = argc > 1 ? argv[1] : "list";
 
     if (std::strcmp(cmd, "list") == 0 || std::strcmp(cmd, "help") == 0)
@@ -221,6 +290,8 @@ main(int argc, char **argv)
         return cmdTrainSnn(cfg);
     if (std::strcmp(cmd, "eval-snn") == 0)
         return cmdEvalSnn(cfg);
+    if (std::strcmp(cmd, "stats") == 0)
+        return cmdStats(cfg);
     warn("unknown subcommand '%s'", cmd);
     return cmdList();
 }
