@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Serial-vs-parallel speedup of the thread-pool-backed layers: MLP
+ * training (minibatch accumulation) and evaluation, SNN
+ * labeling/evaluation, and a multi-config sweep. Each workload runs at
+ * 1, 2, 4 and 8 threads (capped at the machine's hardware width times
+ * two so oversubscription is visible but bounded) and reports wall
+ * time, throughput and speedup vs the 1-thread run as CSV.
+ *
+ * Determinism cross-check: every parallel run's result is compared
+ * against the serial result and the bench aborts on any mismatch, so
+ * the numbers can't silently come from divergent work.
+ *
+ * Knobs: train=N test=N threads=a,b,c (also NEURO_SCALE /
+ * NEURO_THREADS).
+ */
+
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "neuro/common/config.h"
+#include "neuro/common/csv.h"
+#include "neuro/common/logging.h"
+#include "neuro/common/parallel.h"
+#include "neuro/common/rng.h"
+#include "neuro/common/table.h"
+#include "neuro/core/experiment.h"
+#include "neuro/core/explorer.h"
+#include "neuro/mlp/backprop.h"
+#include "neuro/mlp/mlp.h"
+#include "neuro/snn/trainer.h"
+
+namespace {
+
+using namespace neuro;
+
+double
+secondsOf(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct Workload
+{
+    std::string layer;       ///< CSV row label.
+    std::size_t items;       ///< samples (or configs) per run.
+    /** Runs the workload once and returns a checksum for the
+     *  determinism cross-check. */
+    std::function<double()> run;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseEnv();
+    cfg.parseArgs(argc, argv);
+    const auto train =
+        static_cast<std::size_t>(cfg.getInt("train", 1200));
+    const auto test = static_cast<std::size_t>(cfg.getInt("test", 600));
+
+    std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+    const std::size_t hw = std::max(
+        1u, std::thread::hardware_concurrency());
+    while (thread_counts.size() > 1 && thread_counts.back() > 2 * hw)
+        thread_counts.pop_back();
+
+    const core::Workload w = core::makeMnistWorkload(train, test, 1);
+    inform("parallel bench: %zu train / %zu test images, %zu hardware "
+           "threads",
+           w.data.train.size(), w.data.test.size(), hw);
+
+    // --- workloads -------------------------------------------------
+    mlp::MlpConfig mlp_config = core::defaultMlpConfig(w);
+    Rng mlp_rng(3);
+    mlp::Mlp trained_mlp(mlp_config, mlp_rng);
+    {
+        mlp::TrainConfig tc;
+        tc.epochs = 1;
+        mlp::train(trained_mlp, w.data.train, tc);
+    }
+
+    snn::SnnConfig snn_config =
+        core::defaultSnnConfig(w, w.data.train.size());
+    Rng snn_rng(5);
+    snn::SnnNetwork snn_net(snn_config, snn_rng);
+    snn::SnnStdpTrainer snn_trainer(snn_config);
+    {
+        snn::SnnTrainConfig tc;
+        tc.epochs = 1;
+        snn_trainer.train(snn_net, w.data.train, tc);
+    }
+
+    std::vector<Workload> workloads;
+    workloads.push_back(
+        {"mlp_eval", w.data.test.size(), [&] {
+             return mlp::evaluate(trained_mlp, w.data.test);
+         }});
+    workloads.push_back(
+        {"mlp_train_batch32", w.data.train.size(), [&] {
+             mlp::TrainConfig tc;
+             tc.epochs = 1;
+             tc.batchSize = 32;
+             Rng rng(3);
+             mlp::Mlp net(mlp_config, rng);
+             mlp::train(net, w.data.train, tc);
+             return static_cast<double>(net.weights(0)(0, 0));
+         }});
+    workloads.push_back(
+        {"snn_label_eval", w.data.train.size() + w.data.test.size(),
+         [&] {
+             const auto labels = snn_trainer.labelNeurons(
+                 snn_net, w.data.train, snn::EvalMode::Wt, 31);
+             return snn_trainer
+                 .evaluate(snn_net, labels, w.data.test,
+                           snn::EvalMode::Wt, 32)
+                 .accuracy;
+         }});
+    workloads.push_back(
+        {"mlp_hidden_sweep", 4, [&] {
+             const auto points =
+                 core::sweepMlpHidden(w, {5, 10, 15, 20}, 21);
+             double sum = 0.0;
+             for (const auto &p : points)
+                 sum += p.accuracy;
+             return sum;
+         }});
+
+    // --- measurement ----------------------------------------------
+    TextTable table("thread-pool speedup (serial baseline per layer)");
+    table.setHeader({"Layer", "Threads", "Wall (s)", "Items/s",
+                     "Speedup"});
+    CsvWriter csv("bench_parallel.csv",
+                  {"layer", "threads", "wall_s", "items_per_s",
+                   "speedup"});
+
+    for (const Workload &wl : workloads) {
+        double serial_s = 0.0;
+        double serial_result = 0.0;
+        for (std::size_t threads : thread_counts) {
+            setParallelThreadCount(threads);
+            double result = 0.0;
+            // Warm-up run (page-cache, pool spin-up), then timed run.
+            wl.run();
+            const double s = secondsOf([&] { result = wl.run(); });
+            if (threads == 1) {
+                serial_s = s;
+                serial_result = result;
+            } else if (result != serial_result) {
+                fatal("%s: parallel result %f != serial %f at %zu "
+                      "threads",
+                      wl.layer.c_str(), result, serial_result, threads);
+            }
+            const double speedup = serial_s / s;
+            table.addRow(
+                {wl.layer, TextTable::num(static_cast<long long>(threads)),
+                 TextTable::fmt(s, 3),
+                 TextTable::fmt(static_cast<double>(wl.items) / s, 1),
+                 TextTable::fmt(speedup, 2)});
+            csv.writeRow(std::vector<std::string>{
+                wl.layer, std::to_string(threads),
+                TextTable::fmt(s, 4),
+                TextTable::fmt(static_cast<double>(wl.items) / s, 1),
+                TextTable::fmt(speedup, 2)});
+        }
+    }
+    setParallelThreadCount(1);
+    table.addNote("speedups depend on the machine; on a 1-core "
+                  "container every row degenerates to ~1.0 while the "
+                  "determinism cross-check still runs");
+    table.print(std::cout);
+    std::cout << "RESULT: all parallel runs matched the serial "
+                 "baseline bit-for-bit\n";
+    return 0;
+}

@@ -11,6 +11,7 @@
 
 #include "neuro/common/config.h"
 #include "neuro/common/csv.h"
+#include "neuro/common/parallel.h"
 #include "neuro/common/rng.h"
 #include "neuro/common/table.h"
 #include "neuro/core/experiment.h"
@@ -24,6 +25,7 @@ main(int argc, char **argv)
     Config cfg;
     cfg.parseEnv();
     cfg.parseArgs(argc, argv);
+    initParallel(cfg);
     const auto train =
         static_cast<std::size_t>(cfg.getInt("train", 4000));
     const auto test = static_cast<std::size_t>(cfg.getInt("test", 1000));
@@ -57,11 +59,20 @@ main(int argc, char **argv)
     TextTable sweep("weight-precision ablation");
     sweep.setHeader({"Weight bits", "Accuracy (%)"});
     CsvWriter csv("bench_quantization.csv", {"bits", "accuracy_pct"});
-    for (int bits : {8, 6, 5, 4, 3, 2}) {
-        const mlp::QuantizedMlp q(net, bits);
-        const double acc = q.evaluate(w.data.test);
-        sweep.addRow({TextTable::num(bits), TextTable::pct(acc)});
-        csv.writeRow({static_cast<double>(bits), acc * 100.0});
+    // One pool task per precision: each quantizes and evaluates its
+    // own copy of the trained network, and the rows are emitted in
+    // ablation order afterwards.
+    const std::vector<int> all_bits = {8, 6, 5, 4, 3, 2};
+    const auto accs = parallelMap<double>(
+        all_bits.size(), [&](std::size_t i) {
+            const mlp::QuantizedMlp q(net, all_bits[i]);
+            return q.evaluate(w.data.test);
+        });
+    for (std::size_t i = 0; i < all_bits.size(); ++i) {
+        sweep.addRow({TextTable::num(all_bits[i]),
+                      TextTable::pct(accs[i])});
+        csv.writeRow({static_cast<double>(all_bits[i]),
+                      accs[i] * 100.0});
     }
     sweep.print(std::cout);
 

@@ -8,14 +8,20 @@
 
 #include <iostream>
 
+#include "neuro/common/config.h"
 #include "neuro/common/csv.h"
+#include "neuro/common/parallel.h"
 #include "neuro/common/table.h"
 #include "neuro/hw/scaling.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace neuro;
+    Config cfg;
+    cfg.parseEnv();
+    cfg.parseArgs(argc, argv);
+    initParallel(cfg);
     const auto ladder = hw::defaultScaleLadder();
     const auto results = hw::scalingStudy(ladder);
 

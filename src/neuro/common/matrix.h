@@ -59,6 +59,23 @@ class Matrix
     /** this += eta * d * x^T (outer-product weight update). */
     void addOuter(float eta, const float *d, const float *x);
 
+    /**
+     * y = this * [x; 1]: affine product where the last column holds
+     * bias weights fed by a constant 1 (the MLP's layer layout);
+     * @p x has cols() - 1 entries.
+     */
+    void gemvBias(const float *x, float *y) const;
+
+    /**
+     * this += eta * d * [x; 1]^T: outer-product update against an
+     * input extended with the constant bias 1 (@p x has cols() - 1
+     * entries) — the MLP's per-layer weight update.
+     */
+    void addOuterBias(float eta, const float *d, const float *x);
+
+    /** this += scale * other (same shape). */
+    void addScaled(const Matrix &other, float scale);
+
     /** @return underlying storage (for serialization / tests). */
     std::vector<float> &data() { return data_; }
     /** @return underlying storage, const. */

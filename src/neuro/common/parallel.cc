@@ -1,0 +1,330 @@
+#include "neuro/common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "neuro/common/config.h"
+#include "neuro/common/logging.h"
+#include "neuro/common/profile.h"
+
+namespace neuro {
+
+namespace {
+
+/** Depth of parallel-primitive nesting on this thread. Non-zero on a
+ *  thread executing a pool chunk (workers, and the caller while it
+ *  participates), which makes nested primitives run inline. */
+thread_local int t_parallelDepth = 0;
+
+std::size_t
+hardwareThreads()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+/** Resolve the initial thread count from NEURO_THREADS. */
+std::size_t
+envThreadCount()
+{
+    const char *env = std::getenv("NEURO_THREADS");
+    if (env && *env) {
+        char *end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end != env && n >= 1)
+            return static_cast<std::size_t>(n);
+        warn("ignoring invalid NEURO_THREADS='%s'", env);
+    }
+    return hardwareThreads();
+}
+
+/**
+ * Shared state of one forRange() call. Chunks are claimed with a
+ * single fetch_add, so a fast worker simply claims more chunks; the
+ * caller participates too and then waits for the last chunk to retire.
+ * Held by shared_ptr so a worker that grabbed the job just as it
+ * finished can still touch it safely.
+ */
+struct RangeJob
+{
+    std::size_t begin = 0;
+    std::size_t grain = 1;
+    std::size_t numChunks = 0;
+    std::size_t end = 0;
+    const RangeFn *fn = nullptr;
+
+    std::atomic<std::size_t> nextChunk{0};
+    std::atomic<std::size_t> chunksDone{0};
+    std::atomic<bool> failed{false};
+
+    std::mutex mutex;
+    std::condition_variable allDone;
+    std::exception_ptr error;
+
+    bool
+    exhausted() const
+    {
+        return nextChunk.load(std::memory_order_relaxed) >= numChunks;
+    }
+
+    bool
+    complete() const
+    {
+        return chunksDone.load(std::memory_order_acquire) == numChunks;
+    }
+
+    /** Claim and run chunks until the range is exhausted. The caller
+     *  of forRange() is blocked for the whole claiming phase, so *fn
+     *  outlives every chunk execution. */
+    void
+    work()
+    {
+        for (;;) {
+            const std::size_t chunk =
+                nextChunk.fetch_add(1, std::memory_order_relaxed);
+            if (chunk >= numChunks)
+                return;
+            if (!failed.load(std::memory_order_relaxed)) {
+                const std::size_t i0 = begin + chunk * grain;
+                const std::size_t i1 = std::min(end, i0 + grain);
+                try {
+                    NEURO_PROFILE_SCOPE("parallel/chunk");
+                    (*fn)(i0, i1);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (!error)
+                        error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                }
+            }
+            const std::size_t done =
+                chunksDone.fetch_add(1, std::memory_order_acq_rel) + 1;
+            if (done == numChunks) {
+                std::lock_guard<std::mutex> lock(mutex);
+                allDone.notify_all();
+            }
+        }
+    }
+};
+
+} // namespace
+
+struct ThreadPool::Impl
+{
+    std::mutex mutex;               ///< guards workers/queue/shutdown.
+    std::condition_variable wake;   ///< signals workers about new jobs.
+    std::vector<std::thread> workers;
+    std::deque<std::shared_ptr<RangeJob>> queue;
+    std::size_t threadCount = 0;    ///< 0 = not yet resolved.
+    bool shutdown = false;
+
+    /** Guards lazy startup and reconfiguration. */
+    std::mutex configMutex;
+    /** Serializes top-level forRange calls so one job owns the pool. */
+    std::mutex runMutex;
+
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::shared_ptr<RangeJob> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                wake.wait(lock, [this] {
+                    return shutdown || !queue.empty();
+                });
+                if (shutdown)
+                    return;
+                job = queue.front();
+                if (job->exhausted()) {
+                    // Whoever notices first retires the spent job.
+                    queue.pop_front();
+                    continue;
+                }
+            }
+            ++t_parallelDepth;
+            job->work();
+            --t_parallelDepth;
+        }
+    }
+};
+
+ThreadPool &
+ThreadPool::instance()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::ThreadPool() : impl_(new Impl()) {}
+
+ThreadPool::~ThreadPool()
+{
+    if (impl_) {
+        if (impl_->threadCount != 0)
+            stopWorkers();
+        delete impl_;
+    }
+}
+
+void
+ThreadPool::ensureStarted()
+{
+    // instance() construction is thread-safe; impl_ is created there,
+    // so only the worker startup needs the config lock.
+    std::lock_guard<std::mutex> lock(impl_->configMutex);
+    if (impl_->threadCount == 0)
+        startWorkers(envThreadCount());
+}
+
+void
+ThreadPool::startWorkers(std::size_t count)
+{
+    impl_->threadCount = count == 0 ? hardwareThreads() : count;
+    impl_->shutdown = false;
+    // The calling thread participates, so n threads of parallelism
+    // need n - 1 workers; 1 means fully serial with no workers at all.
+    const std::size_t workers = impl_->threadCount - 1;
+    impl_->workers.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+}
+
+void
+ThreadPool::stopWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->shutdown = true;
+    }
+    impl_->wake.notify_all();
+    for (auto &w : impl_->workers)
+        w.join();
+    impl_->workers.clear();
+    impl_->threadCount = 0;
+}
+
+std::size_t
+ThreadPool::threadCount()
+{
+    ensureStarted();
+    return impl_->threadCount;
+}
+
+void
+ThreadPool::setThreadCount(std::size_t n)
+{
+    std::lock_guard<std::mutex> lock(impl_->configMutex);
+    if (impl_->threadCount != 0)
+        stopWorkers();
+    startWorkers(n);
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return t_parallelDepth > 0;
+}
+
+void
+ThreadPool::forRange(std::size_t begin, std::size_t end,
+                     std::size_t grain, const RangeFn &fn)
+{
+    if (begin >= end)
+        return;
+    ensureStarted();
+    const std::size_t n = end - begin;
+    const std::size_t threads = impl_->threadCount;
+
+    // Serial fallback: configured serial, nested inside a pool task,
+    // or a range too small to be worth sharding. Chunks still execute
+    // in index order here, which the determinism tests rely on.
+    if (threads == 1 || t_parallelDepth > 0 || n == 1) {
+        fn(begin, end);
+        return;
+    }
+
+    if (grain == 0)
+        grain = std::max<std::size_t>(1, n / (threads * 4));
+
+    NEURO_PROFILE_SCOPE("parallel/for");
+
+    auto job = std::make_shared<RangeJob>();
+    job->begin = begin;
+    job->end = end;
+    job->grain = grain;
+    job->numChunks = (n + grain - 1) / grain;
+    job->fn = &fn;
+
+    // One top-level job at a time: concurrent callers queue up here
+    // rather than interleaving chunks in the worker queue.
+    std::lock_guard<std::mutex> run(impl_->runMutex);
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->queue.push_back(job);
+    }
+    impl_->wake.notify_all();
+
+    // The caller claims chunks alongside the workers.
+    ++t_parallelDepth;
+    job->work();
+    --t_parallelDepth;
+
+    {
+        std::unique_lock<std::mutex> lock(job->mutex);
+        job->allDone.wait(lock, [&job] { return job->complete(); });
+    }
+    {
+        // Retire the job from the queue if no worker got to it first.
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        auto &q = impl_->queue;
+        q.erase(std::remove(q.begin(), q.end(), job), q.end());
+    }
+
+    if (obsEnabled())
+        obsCount("parallel.chunks", job->numChunks);
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+std::size_t
+parallelThreadCount()
+{
+    return ThreadPool::instance().threadCount();
+}
+
+void
+setParallelThreadCount(std::size_t n)
+{
+    ThreadPool::instance().setThreadCount(n);
+}
+
+void
+initParallel(const Config &cfg)
+{
+    if (!cfg.has("threads"))
+        return;
+    const long n = cfg.getInt("threads", 0);
+    if (n < 1) {
+        warn("ignoring invalid threads=%ld (need >= 1)", n);
+        return;
+    }
+    setParallelThreadCount(static_cast<std::size_t>(n));
+}
+
+void
+parallelInvoke(std::vector<std::function<void()>> tasks)
+{
+    parallelFor(std::size_t{0}, tasks.size(), std::size_t{1},
+                [&](std::size_t i) { tasks[i](); });
+}
+
+} // namespace neuro

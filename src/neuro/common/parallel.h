@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Work-chunking parallel execution subsystem.
+ *
+ * A single lazily-started, process-wide thread pool backs three
+ * primitives used across the simulators:
+ *
+ *  - parallelFor(begin, end, grain, fn): fn(i) for every index in
+ *    [begin, end), sharded into contiguous chunks of at least `grain`
+ *    indices;
+ *  - parallelForRange(begin, end, grain, fn): fn(i0, i1) once per
+ *    chunk, for callers that amortize per-worker scratch state;
+ *  - parallelMap(n, fn): collects fn(i) into a vector, in index order;
+ *  - parallelInvoke(tasks): runs a small set of heterogeneous tasks.
+ *
+ * Thread count: NEURO_THREADS environment variable or the CLI's
+ * --threads=N flag (see initParallel()); default hardware_concurrency.
+ * A count of 1 is the fully serial fallback — every primitive then runs
+ * inline on the caller with no pool, no atomics and no locking.
+ *
+ * Determinism contract: every primitive produces results independent
+ * of the thread count and of chunk scheduling, provided fn(i) writes
+ * only to per-index state (the library's callers all do; reductions
+ * are performed serially afterwards in index order). Serial (threads=1)
+ * and parallel runs are bit-identical. See docs/parallelism.md.
+ *
+ * Exceptions: the first exception thrown by any fn is captured and
+ * rethrown on the calling thread after the whole range completes
+ * (remaining chunks are skipped, not run).
+ *
+ * Nesting: a parallel primitive invoked from inside a pool task runs
+ * serially inline on that worker. The outer layer already saturates
+ * the pool, and running nested work inline cannot deadlock.
+ */
+
+#ifndef NEURO_COMMON_PARALLEL_H
+#define NEURO_COMMON_PARALLEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace neuro {
+
+class Config;
+
+/** Range task: processes indices [begin, end). */
+using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+/**
+ * The process-wide worker pool. Most code should use the free
+ * functions below; the class is exposed for tests and for thread-count
+ * control.
+ */
+class ThreadPool
+{
+  public:
+    /** @return the process-wide pool (workers started on first use). */
+    static ThreadPool &instance();
+
+    /**
+     * Configured parallelism width, including the calling thread
+     * (1 = serial). Resolved from NEURO_THREADS /
+     * hardware_concurrency on first call.
+     */
+    std::size_t threadCount();
+
+    /**
+     * Reconfigure the parallelism width (tests, --threads=N). Joins
+     * and restarts the workers; must not be called concurrently with
+     * running parallel work. @p n == 0 selects hardware_concurrency.
+     */
+    void setThreadCount(std::size_t n);
+
+    /** @return true on a thread currently executing a pool chunk. */
+    static bool inParallelRegion();
+
+    /**
+     * Shard [begin, end) into chunks of at least @p grain indices and
+     * run @p fn once per chunk across the workers plus the calling
+     * thread. Blocks until the range completes; rethrows the first
+     * exception. @p grain == 0 picks a chunk size that yields ~4
+     * chunks per thread.
+     */
+    void forRange(std::size_t begin, std::size_t end, std::size_t grain,
+                  const RangeFn &fn);
+
+    ~ThreadPool();
+
+  private:
+    ThreadPool();
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    struct Impl;
+    void ensureStarted();
+    void startWorkers(std::size_t workers);
+    void stopWorkers();
+
+    Impl *impl_ = nullptr;
+};
+
+/** @return the configured parallelism width (>= 1). */
+std::size_t parallelThreadCount();
+
+/** Set the parallelism width (0 = hardware_concurrency). */
+void setParallelThreadCount(std::size_t n);
+
+/**
+ * Wire the pool up from a parsed Config: `threads=N` (the CLI's
+ * --threads=N flag or the NEURO_THREADS environment variable via
+ * parseEnv). Call after Config::parseArgs; a missing key leaves the
+ * default resolution untouched.
+ */
+void initParallel(const Config &cfg);
+
+/** fn(i0, i1) per chunk; see ThreadPool::forRange. */
+inline void
+parallelForRange(std::size_t begin, std::size_t end, std::size_t grain,
+                 const RangeFn &fn)
+{
+    ThreadPool::instance().forRange(begin, end, grain, fn);
+}
+
+/** fn(i) for every i in [begin, end), sharded across the pool. */
+template <typename Fn>
+void
+parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+            const Fn &fn)
+{
+    parallelForRange(begin, end, grain,
+                     [&fn](std::size_t i0, std::size_t i1) {
+                         for (std::size_t i = i0; i < i1; ++i)
+                             fn(i);
+                     });
+}
+
+/** parallelFor with an automatic grain size. */
+template <typename Fn>
+void
+parallelFor(std::size_t begin, std::size_t end, const Fn &fn)
+{
+    parallelFor(begin, end, 0, fn);
+}
+
+/**
+ * Evaluate fn(i) for i in [0, n) and return the results in index
+ * order. T must be default-constructible; results are written to
+ * per-index slots so the output is thread-count independent.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(std::size_t n, const Fn &fn)
+{
+    std::vector<T> out(n);
+    parallelFor(std::size_t{0}, n, std::size_t{1},
+                [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+/**
+ * Run a handful of independent heterogeneous tasks (e.g. the three
+ * model trainings of the Table 3 comparison) across the pool.
+ */
+void parallelInvoke(std::vector<std::function<void()>> tasks);
+
+} // namespace neuro
+
+#endif // NEURO_COMMON_PARALLEL_H

@@ -27,6 +27,17 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
+uint64_t
+deriveStreamSeed(uint64_t seed, uint64_t stream)
+{
+    // Feed the stream index through the same golden-ratio increment
+    // SplitMix64 uses internally, then finalize twice: adjacent
+    // (seed, stream) pairs land in uncorrelated parts of the sequence.
+    uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    (void)splitmix64(x);
+    return splitmix64(x);
+}
+
 Rng::Rng(uint64_t seed)
 {
     uint64_t s = seed;

@@ -25,6 +25,15 @@
 namespace neuro {
 
 /**
+ * Derive an independent, reproducible seed for a numbered stream (a
+ * sample, a replicate, a sweep point) from a base seed: two SplitMix64
+ * finalizations over a combination of @p seed and @p stream. Parallel
+ * evaluation paths seed one Rng per sample through this, so results do
+ * not depend on iteration order or thread count (docs/parallelism.md).
+ */
+uint64_t deriveStreamSeed(uint64_t seed, uint64_t stream);
+
+/**
  * Deterministic 64-bit pseudo-random generator (xoshiro256**) with the
  * distribution helpers used across the library. Cheap to copy; every
  * experiment owns its generator so runs are reproducible per seed.

@@ -1,6 +1,7 @@
 #include "neuro/core/compare.h"
 
 #include "neuro/common/logging.h"
+#include "neuro/common/parallel.h"
 #include "neuro/hw/stdp_hw.h"
 
 namespace neuro {
@@ -67,18 +68,40 @@ isoAccuracyComparison(const Workload &workload, double snn_accuracy,
     IsoAccuracyResult result;
     result.snnAccuracy = snn_accuracy;
 
-    for (std::size_t hidden : candidate_sizes) {
+    // Each candidate's accuracy depends only on (seed, hidden), so the
+    // candidates can be trained concurrently; scanning the results in
+    // candidate order afterwards selects the same "smallest matching
+    // size" the sequential early-exit loop found. With one thread the
+    // loop below is strictly sequential and keeps the early exit, so
+    // no extra candidates are ever trained in serial mode.
+    const auto trainCandidate = [&](std::size_t hidden) {
         mlp::MlpConfig config = defaultMlpConfig(workload);
         config.layerSizes[1] = hidden;
         mlp::TrainConfig train = defaultMlpTrainConfig();
         train.seed = seed + hidden;
-        const double acc =
-            mlp::trainAndEvaluate(config, train, workload.data.train,
-                                  workload.data.test, seed * 61 + hidden);
-        result.mlpHidden = hidden;
-        result.mlpAccuracy = acc;
-        if (acc >= snn_accuracy)
-            break; // smallest matching size found.
+        return mlp::trainAndEvaluate(config, train, workload.data.train,
+                                     workload.data.test,
+                                     seed * 61 + hidden);
+    };
+
+    if (parallelThreadCount() == 1) {
+        for (std::size_t hidden : candidate_sizes) {
+            const double acc = trainCandidate(hidden);
+            result.mlpHidden = hidden;
+            result.mlpAccuracy = acc;
+            if (acc >= snn_accuracy)
+                break; // smallest matching size found.
+        }
+    } else {
+        const std::vector<double> accs = parallelMap<double>(
+            candidate_sizes.size(),
+            [&](std::size_t i) { return trainCandidate(candidate_sizes[i]); });
+        for (std::size_t i = 0; i < candidate_sizes.size(); ++i) {
+            result.mlpHidden = candidate_sizes[i];
+            result.mlpAccuracy = accs[i];
+            if (accs[i] >= snn_accuracy)
+                break;
+        }
     }
 
     hw::MlpTopology mlp_topo = workload.mlpTopo;

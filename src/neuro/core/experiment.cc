@@ -4,6 +4,7 @@
 
 #include "neuro/common/config.h"
 #include "neuro/common/logging.h"
+#include "neuro/common/parallel.h"
 #include "neuro/common/rng.h"
 #include "neuro/datasets/shapes.h"
 #include "neuro/datasets/spoken_digits.h"
@@ -173,42 +174,53 @@ runAccuracyComparison(const Workload &workload, uint64_t seed)
     const datasets::Dataset &train = workload.data.train;
     const datasets::Dataset &test = workload.data.test;
 
-    // --- SNN+STDP (one training run, two forward paths) ---
-    const snn::SnnConfig snn_config =
-        defaultSnnConfig(workload, train.size());
-    Rng rng(seed);
-    snn::SnnNetwork net(snn_config, rng);
-    snn::SnnStdpTrainer trainer(snn_config);
-    snn::SnnTrainConfig snn_train;
-    snn_train.epochs = scaled(3, 1);
-    snn_train.seed = seed + 1;
-    trainer.train(net, train, snn_train);
+    // The three model families train from disjoint seeds and write to
+    // disjoint result fields, so they run as independent pool tasks
+    // (serially, in this order, when threads=1).
+    parallelInvoke({
+        [&] {
+            // --- SNN+STDP (one training run, two forward paths) ---
+            const snn::SnnConfig snn_config =
+                defaultSnnConfig(workload, train.size());
+            Rng rng(seed);
+            snn::SnnNetwork net(snn_config, rng);
+            snn::SnnStdpTrainer trainer(snn_config);
+            snn::SnnTrainConfig snn_train;
+            snn_train.epochs = scaled(3, 1);
+            snn_train.seed = seed + 1;
+            trainer.train(net, train, snn_train);
 
-    const auto labels_wt = trainer.labelNeurons(
-        net, train, snn::EvalMode::Wt, seed + 2);
-    results.snnWt = trainer
-        .evaluate(net, labels_wt, test, snn::EvalMode::Wt, seed + 3)
-        .accuracy;
-    const auto labels_wot = trainer.labelNeurons(
-        net, train, snn::EvalMode::Wot, seed + 4);
-    results.snnWot = trainer
-        .evaluate(net, labels_wot, test, snn::EvalMode::Wot, seed + 5)
-        .accuracy;
-
-    // --- SNN+BP ---
-    snn::SnnBpConfig bp_config = defaultSnnBpConfig(workload);
-    bp_config.seed = seed + 6;
-    Rng bp_rng(seed + 7);
-    snn::SnnBp snn_bp(bp_config, bp_rng);
-    snn_bp.train(train);
-    results.snnBp = snn_bp.evaluate(test, seed + 8);
-
-    // --- MLP+BP ---
-    mlp::TrainConfig mlp_train = defaultMlpTrainConfig();
-    mlp_train.seed = seed + 9;
-    results.mlpBp = mlp::trainAndEvaluate(defaultMlpConfig(workload),
-                                          mlp_train, train, test,
-                                          seed + 10);
+            const auto labels_wt = trainer.labelNeurons(
+                net, train, snn::EvalMode::Wt, seed + 2);
+            results.snnWt = trainer
+                .evaluate(net, labels_wt, test, snn::EvalMode::Wt,
+                          seed + 3)
+                .accuracy;
+            const auto labels_wot = trainer.labelNeurons(
+                net, train, snn::EvalMode::Wot, seed + 4);
+            results.snnWot = trainer
+                .evaluate(net, labels_wot, test, snn::EvalMode::Wot,
+                          seed + 5)
+                .accuracy;
+        },
+        [&] {
+            // --- SNN+BP ---
+            snn::SnnBpConfig bp_config = defaultSnnBpConfig(workload);
+            bp_config.seed = seed + 6;
+            Rng bp_rng(seed + 7);
+            snn::SnnBp snn_bp(bp_config, bp_rng);
+            snn_bp.train(train);
+            results.snnBp = snn_bp.evaluate(test, seed + 8);
+        },
+        [&] {
+            // --- MLP+BP ---
+            mlp::TrainConfig mlp_train = defaultMlpTrainConfig();
+            mlp_train.seed = seed + 9;
+            results.mlpBp = mlp::trainAndEvaluate(
+                defaultMlpConfig(workload), mlp_train, train, test,
+                seed + 10);
+        },
+    });
     return results;
 }
 

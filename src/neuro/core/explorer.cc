@@ -4,27 +4,33 @@
 
 #include "neuro/common/config.h"
 #include "neuro/common/logging.h"
+#include "neuro/common/parallel.h"
 #include "neuro/common/rng.h"
 
 namespace neuro {
 namespace core {
 
+// Every sweep below is embarrassingly parallel across its points: the
+// per-point seeds are fixed functions of (seed, point), never of the
+// iteration order, so running points concurrently via parallelMap
+// returns the exact vectors the old sequential loops produced.
+
 std::vector<SweepPoint>
 sweepMlpHidden(const Workload &workload,
                const std::vector<std::size_t> &hidden_sizes, uint64_t seed)
 {
-    std::vector<SweepPoint> points;
-    for (std::size_t hidden : hidden_sizes) {
-        mlp::MlpConfig config = defaultMlpConfig(workload);
-        config.layerSizes[1] = hidden;
-        mlp::TrainConfig train = defaultMlpTrainConfig();
-        train.seed = seed + hidden;
-        const double acc =
-            mlp::trainAndEvaluate(config, train, workload.data.train,
-                                  workload.data.test, seed * 31 + hidden);
-        points.push_back({static_cast<double>(hidden), acc});
-    }
-    return points;
+    return parallelMap<SweepPoint>(
+        hidden_sizes.size(), [&](std::size_t i) {
+            const std::size_t hidden = hidden_sizes[i];
+            mlp::MlpConfig config = defaultMlpConfig(workload);
+            config.layerSizes[1] = hidden;
+            mlp::TrainConfig train = defaultMlpTrainConfig();
+            train.seed = seed + hidden;
+            const double acc = mlp::trainAndEvaluate(
+                config, train, workload.data.train, workload.data.test,
+                seed * 31 + hidden);
+            return SweepPoint{static_cast<double>(hidden), acc};
+        });
 }
 
 std::vector<SweepPoint>
@@ -32,55 +38,57 @@ sweepSnnNeurons(const Workload &workload,
                 const std::vector<std::size_t> &neuron_counts,
                 uint64_t seed)
 {
-    std::vector<SweepPoint> points;
-    for (std::size_t neurons : neuron_counts) {
-        snn::SnnConfig config =
-            defaultSnnConfig(workload, workload.data.train.size());
-        config.numNeurons = neurons;
-        retuneSnnForTopology(config, workload.data.train.size());
+    return parallelMap<SweepPoint>(
+        neuron_counts.size(), [&](std::size_t i) {
+            const std::size_t neurons = neuron_counts[i];
+            snn::SnnConfig config =
+                defaultSnnConfig(workload, workload.data.train.size());
+            config.numNeurons = neurons;
+            retuneSnnForTopology(config, workload.data.train.size());
 
-        snn::SnnTrainConfig train;
-        train.epochs = scaled(3, 1);
-        train.seed = seed + neurons;
-        const double acc = snn::trainAndEvaluateStdp(
-            config, train, workload.data.train, workload.data.test,
-            snn::EvalMode::Wt, seed * 37 + neurons);
-        points.push_back({static_cast<double>(neurons), acc});
-    }
-    return points;
+            snn::SnnTrainConfig train;
+            train.epochs = scaled(3, 1);
+            train.seed = seed + neurons;
+            const double acc = snn::trainAndEvaluateStdp(
+                config, train, workload.data.train, workload.data.test,
+                snn::EvalMode::Wt, seed * 37 + neurons);
+            return SweepPoint{static_cast<double>(neurons), acc};
+        });
 }
 
 std::vector<SweepPoint>
 sweepSigmoidSlope(const Workload &workload,
                   const std::vector<double> &slopes, uint64_t seed)
 {
-    std::vector<SweepPoint> points;
-    mlp::TrainConfig train = defaultMlpTrainConfig();
-    const float base_lr = train.learningRate;
-    for (double a : slopes) {
-        mlp::MlpConfig config = defaultMlpConfig(workload);
-        config.activation = mlp::ActivationKind::ParamSigmoid;
-        config.slope = static_cast<float>(a);
-        // The gradient scales with the slope; keep the effective step
-        // size constant so steep sigmoids do not diverge.
-        train.learningRate = base_lr / static_cast<float>(a);
-        train.seed = seed + static_cast<uint64_t>(a * 8);
-        const double acc = mlp::trainAndEvaluate(
-            config, train, workload.data.train, workload.data.test,
-            seed * 41 + static_cast<uint64_t>(a * 8));
-        points.push_back({a, acc});
-    }
-    // The step-function limit (parameter recorded as 0).
-    mlp::MlpConfig config = defaultMlpConfig(workload);
-    config.activation = mlp::ActivationKind::Step;
-    config.slope = 8.0f; // surrogate-gradient slope.
-    train.learningRate = base_lr / config.slope;
-    train.seed = seed + 999;
-    const double acc =
-        mlp::trainAndEvaluate(config, train, workload.data.train,
-                              workload.data.test, seed * 43);
-    points.push_back({0.0, acc});
-    return points;
+    const float base_lr = defaultMlpTrainConfig().learningRate;
+    // slopes.size() parametric-sigmoid points plus the step-function
+    // limit (recorded as parameter 0) as the last point.
+    return parallelMap<SweepPoint>(
+        slopes.size() + 1, [&](std::size_t i) {
+            mlp::MlpConfig config = defaultMlpConfig(workload);
+            mlp::TrainConfig train = defaultMlpTrainConfig();
+            double param = 0.0;
+            uint64_t eval_seed = seed * 43;
+            if (i < slopes.size()) {
+                const double a = slopes[i];
+                param = a;
+                config.activation = mlp::ActivationKind::ParamSigmoid;
+                config.slope = static_cast<float>(a);
+                train.seed = seed + static_cast<uint64_t>(a * 8);
+                eval_seed = seed * 41 + static_cast<uint64_t>(a * 8);
+            } else {
+                config.activation = mlp::ActivationKind::Step;
+                config.slope = 8.0f; // surrogate-gradient slope.
+                train.seed = seed + 999;
+            }
+            // The gradient scales with the slope; keep the effective
+            // step size constant so steep sigmoids do not diverge.
+            train.learningRate = base_lr / config.slope;
+            const double acc = mlp::trainAndEvaluate(
+                config, train, workload.data.train, workload.data.test,
+                eval_seed);
+            return SweepPoint{param, acc};
+        });
 }
 
 std::vector<CodingSweepPoint>
@@ -89,9 +97,21 @@ sweepCodingSchemes(const Workload &workload,
                    const std::vector<std::size_t> &neuron_counts,
                    uint64_t seed)
 {
-    std::vector<CodingSweepPoint> points;
-    for (snn::CodingScheme scheme : schemes) {
-        for (std::size_t neurons : neuron_counts) {
+    // Flatten the (scheme, neurons) grid so every cell is one pool
+    // task; the row-major order of the old nested loops is preserved.
+    struct Cell
+    {
+        snn::CodingScheme scheme;
+        std::size_t neurons;
+    };
+    std::vector<Cell> cells;
+    for (snn::CodingScheme scheme : schemes)
+        for (std::size_t neurons : neuron_counts)
+            cells.push_back({scheme, neurons});
+
+    return parallelMap<CodingSweepPoint>(
+        cells.size(), [&](std::size_t i) {
+            const auto [scheme, neurons] = cells[i];
             snn::SnnConfig config =
                 defaultSnnConfig(workload, workload.data.train.size());
             config.coding.scheme = scheme;
@@ -112,20 +132,22 @@ sweepCodingSchemes(const Workload &workload,
                 config, train, workload.data.train, workload.data.test,
                 snn::EvalMode::Wt,
                 seed * 47 + neurons + static_cast<uint64_t>(scheme));
-            points.push_back({scheme, neurons, acc});
-        }
-    }
-    return points;
+            return CodingSweepPoint{scheme, neurons, acc};
+        });
 }
 
 std::vector<SnnTrial>
 exploreSnnHyperparameters(const Workload &workload, std::size_t trials,
                           uint64_t seed)
 {
+    // Draw every trial's hyperparameters up front: the Rng stream is
+    // sequential, so sampling must stay in trial order for the trials
+    // to match the historical sequential run. The expensive part —
+    // training and evaluating each candidate — is then parallel.
     Rng rng(seed);
-    std::vector<SnnTrial> results;
+    std::vector<SnnTrial> results(trials);
     for (std::size_t t = 0; t < trials; ++t) {
-        SnnTrial trial;
+        SnnTrial &trial = results[t];
         trial.config = defaultSnnConfig(workload,
                                         workload.data.train.size());
         // Table 1 exploration ranges.
@@ -136,15 +158,18 @@ exploreSnnHyperparameters(const Workload &workload, std::size_t trials,
             rng.uniform(0.3, 2.0) * 17850.0;
         trial.config.tInhibitMs = static_cast<int>(rng.uniform(1.0, 20.0));
         trial.config.tRefracMs = static_cast<int>(rng.uniform(5.0, 50.0));
-
-        snn::SnnTrainConfig train;
-        train.epochs = 1;
-        train.seed = seed + t;
-        trial.accuracy = snn::trainAndEvaluateStdp(
-            trial.config, train, workload.data.train, workload.data.test,
-            snn::EvalMode::Wt, seed * 53 + t);
-        results.push_back(std::move(trial));
     }
+
+    parallelFor(std::size_t{0}, trials, std::size_t{1},
+                [&](std::size_t t) {
+                    snn::SnnTrainConfig train;
+                    train.epochs = 1;
+                    train.seed = seed + t;
+                    results[t].accuracy = snn::trainAndEvaluateStdp(
+                        results[t].config, train, workload.data.train,
+                        workload.data.test, snn::EvalMode::Wt,
+                        seed * 53 + t);
+                });
     std::stable_sort(results.begin(), results.end(),
                      [](const SnnTrial &a, const SnnTrial &b) {
                          return a.accuracy > b.accuracy;

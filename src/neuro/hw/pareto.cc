@@ -1,8 +1,10 @@
 #include "neuro/hw/pareto.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "neuro/common/logging.h"
+#include "neuro/common/parallel.h"
 
 namespace neuro {
 namespace hw {
@@ -36,36 +38,49 @@ std::vector<DesignPoint>
 enumerateDesigns(const MlpTopology &mlp, const SnnTopology &snn,
                  const EnumerateOptions &options, const TechParams &tech)
 {
-    std::vector<DesignPoint> points;
+    // Collect one (label, builder) task per candidate design, then
+    // build them across the pool; the enumeration order of the old
+    // sequential loops is preserved by parallelMap.
+    struct Candidate
+    {
+        std::string label;
+        std::function<Design()> build;
+    };
+    std::vector<Candidate> candidates;
     for (std::size_t ni : options.foldFactors) {
-        points.push_back(pointFrom("MLP folded ni=" + std::to_string(ni),
-                                   buildFoldedMlp(mlp, ni, tech)));
-        points.push_back(
-            pointFrom("SNNwot folded ni=" + std::to_string(ni),
-                      buildFoldedSnnWot(snn, ni, tech)));
+        candidates.push_back({"MLP folded ni=" + std::to_string(ni),
+                              [=] { return buildFoldedMlp(mlp, ni, tech); }});
+        candidates.push_back(
+            {"SNNwot folded ni=" + std::to_string(ni),
+             [=] { return buildFoldedSnnWot(snn, ni, tech); }});
         if (options.includeSnnWt) {
-            points.push_back(
-                pointFrom("SNNwt folded ni=" + std::to_string(ni),
-                          buildFoldedSnnWt(snn, ni, 500, tech)));
+            candidates.push_back(
+                {"SNNwt folded ni=" + std::to_string(ni),
+                 [=] { return buildFoldedSnnWt(snn, ni, 500, tech); }});
         }
         for (std::size_t pool : options.mlpPools) {
-            points.push_back(pointFrom(
-                "MLP pooled ni=" + std::to_string(ni) + " hw=" +
-                    std::to_string(pool),
-                buildFoldedMlpPooled(mlp, ni, pool, tech)));
+            candidates.push_back(
+                {"MLP pooled ni=" + std::to_string(ni) + " hw=" +
+                     std::to_string(pool),
+                 [=] { return buildFoldedMlpPooled(mlp, ni, pool, tech); }});
         }
     }
     if (options.includeExpanded) {
-        points.push_back(
-            pointFrom("MLP expanded", buildExpandedMlp(mlp, tech)));
-        points.push_back(pointFrom("SNNwot expanded",
-                                   buildExpandedSnnWot(snn, tech)));
+        candidates.push_back(
+            {"MLP expanded", [=] { return buildExpandedMlp(mlp, tech); }});
+        candidates.push_back(
+            {"SNNwot expanded",
+             [=] { return buildExpandedSnnWot(snn, tech); }});
         if (options.includeSnnWt) {
-            points.push_back(pointFrom(
-                "SNNwt expanded", buildExpandedSnnWt(snn, 500, tech)));
+            candidates.push_back(
+                {"SNNwt expanded",
+                 [=] { return buildExpandedSnnWt(snn, 500, tech); }});
         }
     }
-    return points;
+    return parallelMap<DesignPoint>(
+        candidates.size(), [&](std::size_t i) {
+            return pointFrom(candidates[i].label, candidates[i].build());
+        });
 }
 
 std::vector<std::size_t>

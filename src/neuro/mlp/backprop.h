@@ -29,6 +29,16 @@ struct TrainConfig
     std::size_t epochs = 50;   ///< passes over the training set.
     uint64_t seed = 7;         ///< shuffling seed.
     bool shuffle = true;       ///< reshuffle each epoch.
+    /**
+     * Samples per weight update. 1 (the default) is the paper's
+     * per-presentation SGD. Larger values switch to minibatch
+     * accumulation: gradients for the whole batch are computed
+     * against the batch-start weights (in parallel when the thread
+     * pool is active — results are batch-order deterministic and
+     * thread-count independent) and applied as one gemm-shaped
+     * accumulated update.
+     */
+    std::size_t batchSize = 1;
 };
 
 /** Per-epoch progress report. */

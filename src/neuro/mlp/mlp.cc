@@ -45,14 +45,10 @@ Mlp::forward(const float *input, float *output) const
     std::vector<float> next;
     for (std::size_t l = 0; l < weights_.size(); ++l) {
         const Matrix &w = weights_[l];
-        next.assign(w.rows(), 0.0f);
-        for (std::size_t j = 0; j < w.rows(); ++j) {
-            const float *row = w.row(j);
-            float acc = row[w.cols() - 1]; // bias weight times constant 1.
-            for (std::size_t i = 0; i + 1 < w.cols(); ++i)
-                acc += row[i] * cur[i];
-            next[j] = activation_.apply(acc);
-        }
+        next.resize(w.rows());
+        w.gemvBias(cur.data(), next.data());
+        for (std::size_t j = 0; j < w.rows(); ++j)
+            next[j] = activation_.apply(next[j]);
         cur.swap(next);
     }
     std::copy(cur.begin(), cur.end(), output);
@@ -68,14 +64,10 @@ Mlp::forwardTrace(const float *input,
         const Matrix &w = weights_[l];
         const std::vector<float> &cur = activations[l];
         std::vector<float> &next = activations[l + 1];
-        next.assign(w.rows(), 0.0f);
-        for (std::size_t j = 0; j < w.rows(); ++j) {
-            const float *row = w.row(j);
-            float acc = row[w.cols() - 1];
-            for (std::size_t i = 0; i + 1 < w.cols(); ++i)
-                acc += row[i] * cur[i];
-            next[j] = activation_.apply(acc);
-        }
+        next.resize(w.rows());
+        w.gemvBias(cur.data(), next.data());
+        for (std::size_t j = 0; j < w.rows(); ++j)
+            next[j] = activation_.apply(next[j]);
     }
 }
 

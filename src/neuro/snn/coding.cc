@@ -65,7 +65,20 @@ SpikeEncoder::encode(const uint8_t *pixels, std::size_t num_pixels,
                      Rng &rng) const
 {
     SpikeTrainGrid grid;
+    encodeInto(pixels, num_pixels, rng, grid);
+    return grid;
+}
+
+void
+SpikeEncoder::encodeInto(const uint8_t *pixels, std::size_t num_pixels,
+                         Rng &rng, SpikeTrainGrid &grid) const
+{
+    // resize() keeps existing tick vectors (and their heap buffers);
+    // clearing them only resets sizes, so a reused grid stops
+    // allocating once it has seen one densely coded image.
     grid.ticks.resize(static_cast<std::size_t>(config_.periodMs));
+    for (auto &tick : grid.ticks)
+        tick.clear();
     switch (config_.scheme) {
       case CodingScheme::RatePoisson:
       case CodingScheme::RateGaussian:
@@ -78,7 +91,6 @@ SpikeEncoder::encode(const uint8_t *pixels, std::size_t num_pixels,
         encodeTemporal(pixels, num_pixels, grid);
         break;
     }
-    return grid;
 }
 
 uint8_t

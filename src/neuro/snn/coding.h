@@ -86,6 +86,14 @@ class SpikeEncoder
                           Rng &rng) const;
 
     /**
+     * Encode into a caller-owned grid, reusing its per-tick buffers.
+     * The training/evaluation loops keep one scratch grid per worker
+     * so re-encoding every image costs no allocations in steady state.
+     */
+    void encodeInto(const uint8_t *pixels, std::size_t num_pixels,
+                    Rng &rng, SpikeTrainGrid &grid) const;
+
+    /**
      * The SNNwot deterministic conversion (Section 4.2.2): the number of
      * spikes a pixel would emit, as the 4-bit value the hardware
      * generates directly (0..periodMs/minIntervalMs).

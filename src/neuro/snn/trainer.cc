@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "neuro/common/logging.h"
+#include "neuro/common/parallel.h"
 #include "neuro/common/profile.h"
 #include "neuro/common/rng.h"
 #include "neuro/snn/labeling.h"
@@ -31,6 +32,11 @@ SnnStdpTrainer::train(SnnNetwork &net, const datasets::Dataset &data,
     std::vector<uint32_t> order(n);
     rng.shuffle(order.data(), n);
 
+    // Scratch grid reused across samples and epochs: encodeInto
+    // clears the per-tick buffers without releasing them, so the
+    // per-sample heap allocations disappear after warm-up.
+    SpikeTrainGrid grid;
+
     for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
         NEURO_PROFILE_SCOPE("snn/train/epoch");
         if (config.shuffle)
@@ -39,8 +45,8 @@ SnnStdpTrainer::train(SnnNetwork &net, const datasets::Dataset &data,
         report.epoch = epoch;
         for (std::size_t step = 0; step < n; ++step) {
             const auto &sample = data[order[step]];
-            const SpikeTrainGrid grid = encoder_.encode(
-                sample.pixels.data(), sample.pixels.size(), rng);
+            encoder_.encodeInto(sample.pixels.data(),
+                                sample.pixels.size(), rng, grid);
             const PresentationResult r =
                 net.presentImage(grid, /*learn=*/true);
             report.outputSpikes += r.outputSpikeCount;
@@ -70,27 +76,64 @@ SnnStdpTrainer::train(SnnNetwork &net, const datasets::Dataset &data,
     }
 }
 
-int
-SnnStdpTrainer::winnerFor(SnnNetwork &net, const datasets::Dataset &data,
-                          std::size_t i, EvalMode mode, Rng &rng,
-                          bool *fired)
+namespace {
+
+/** Shard the evaluation range so each worker amortizes one network
+ *  copy over a decent run of samples, while leaving the pool enough
+ *  chunks to balance the (sample-dependent) presentation cost. */
+std::size_t
+evalGrain(std::size_t n)
 {
-    const auto &sample = data[i];
-    if (mode == EvalMode::Wot) {
-        // Deterministic count-based conversion; no RNG involved.
-        std::vector<uint8_t> counts(sample.pixels.size());
-        for (std::size_t p = 0; p < counts.size(); ++p)
-            counts[p] = encoder_.spikeCount(sample.pixels[p]);
-        if (fired)
-            *fired = true;
-        return net.forwardCounts(counts.data());
-    }
-    const SpikeTrainGrid grid =
-        encoder_.encode(sample.pixels.data(), sample.pixels.size(), rng);
-    const PresentationResult r = net.presentImage(grid, /*learn=*/false);
+    const std::size_t threads = parallelThreadCount();
+    return std::max<std::size_t>(8, n / (threads * 4));
+}
+
+} // namespace
+
+std::vector<int>
+SnnStdpTrainer::winnersFor(SnnNetwork &net, const datasets::Dataset &data,
+                           EvalMode mode, uint64_t seed,
+                           std::vector<uint8_t> *fired) const
+{
+    const std::size_t n = data.size();
+    std::vector<int> winners(n, -1);
     if (fired)
-        *fired = r.firstSpikeNeuron >= 0;
-    return r.winner(Readout::FirstSpike);
+        fired->assign(n, 0);
+
+    // One task per shard: a worker-local copy of the frozen network
+    // (presentations scribble on neuron dynamics), per-worker scratch
+    // buffers, and one Rng per sample derived from (seed, i) via
+    // SplitMix64 — spike encodings no longer depend on iteration
+    // order, so any thread count produces the same winners.
+    parallelForRange(0, n, evalGrain(n), [&](std::size_t i0,
+                                             std::size_t i1) {
+        NEURO_PROFILE_SCOPE("snn/eval/shard");
+        SnnNetwork local(net);
+        SpikeTrainGrid grid;
+        std::vector<uint8_t> counts;
+        for (std::size_t i = i0; i < i1; ++i) {
+            const auto &sample = data[i];
+            if (mode == EvalMode::Wot) {
+                // Deterministic count-based conversion; no RNG.
+                counts.resize(sample.pixels.size());
+                for (std::size_t p = 0; p < counts.size(); ++p)
+                    counts[p] = encoder_.spikeCount(sample.pixels[p]);
+                winners[i] = local.forwardCounts(counts.data());
+                if (fired)
+                    (*fired)[i] = 1;
+                continue;
+            }
+            Rng rng(deriveStreamSeed(seed, i));
+            encoder_.encodeInto(sample.pixels.data(),
+                                sample.pixels.size(), rng, grid);
+            const PresentationResult r =
+                local.presentImage(grid, /*learn=*/false);
+            winners[i] = r.winner(Readout::FirstSpike);
+            if (fired)
+                (*fired)[i] = r.firstSpikeNeuron >= 0;
+        }
+    });
+    return winners;
 }
 
 std::vector<int>
@@ -99,12 +142,14 @@ SnnStdpTrainer::labelNeurons(SnnNetwork &net, const datasets::Dataset &data,
 {
     NEURO_ASSERT(!data.empty(), "cannot label on an empty dataset");
     NEURO_PROFILE_SCOPE("snn/label");
-    Rng rng(seed);
+    const std::vector<int> winners =
+        winnersFor(net, data, mode, seed, nullptr);
+    // Reduce in index order; integer win counters make the labeling
+    // independent of how the shards were scheduled anyway.
     SelfLabeling labeling(net.config().numNeurons, data.numClasses());
     for (std::size_t i = 0; i < data.size(); ++i) {
-        const int winner = winnerFor(net, data, i, mode, rng);
-        if (winner >= 0)
-            labeling.record(static_cast<std::size_t>(winner),
+        if (winners[i] >= 0)
+            labeling.record(static_cast<std::size_t>(winners[i]),
                             data[i].label);
     }
     return labeling.finalize(data.classHistogram());
@@ -119,16 +164,17 @@ SnnStdpTrainer::evaluate(SnnNetwork &net, const std::vector<int> &labels,
                  "labels size mismatch");
     NEURO_ASSERT(!data.empty(), "cannot evaluate on an empty dataset");
     NEURO_PROFILE_SCOPE("snn/eval");
-    Rng rng(seed);
+    std::vector<uint8_t> fired;
+    const std::vector<int> winners =
+        winnersFor(net, data, mode, seed, &fired);
     SnnEvalResult result;
     std::size_t correct = 0;
     for (std::size_t i = 0; i < data.size(); ++i) {
-        bool fired = true;
-        const int winner = winnerFor(net, data, i, mode, rng, &fired);
-        if (!fired)
+        if (!fired[i])
             ++result.silent;
-        if (winner >= 0 &&
-            labels[static_cast<std::size_t>(winner)] == data[i].label) {
+        if (winners[i] >= 0 &&
+            labels[static_cast<std::size_t>(winners[i])] ==
+                data[i].label) {
             ++correct;
         }
     }

@@ -76,12 +76,21 @@ class SnnStdpTrainer
     /**
      * Self-labeling pass (weights frozen): tag each neuron with the
      * label it wins most often, normalized by class frequency.
+     *
+     * Samples are sharded across the thread pool, each presented to a
+     * worker-local copy of the network with an Rng seeded from
+     * (seed, sampleIndex), so the result is bit-identical at any
+     * thread count (docs/parallelism.md). @p net itself is left
+     * untouched.
      */
     std::vector<int> labelNeurons(SnnNetwork &net,
                                   const datasets::Dataset &data,
                                   EvalMode mode, uint64_t seed);
 
-    /** Classification accuracy with the given neuron labels. */
+    /**
+     * Classification accuracy with the given neuron labels. Sharded
+     * like labelNeurons(), with the same determinism contract.
+     */
     SnnEvalResult evaluate(SnnNetwork &net, const std::vector<int> &labels,
                            const datasets::Dataset &data, EvalMode mode,
                            uint64_t seed);
@@ -90,10 +99,11 @@ class SnnStdpTrainer
     const SpikeEncoder &encoder() const { return encoder_; }
 
   private:
-    /** Winner neuron for sample @p i of @p data under @p mode. */
-    int winnerFor(SnnNetwork &net, const datasets::Dataset &data,
-                  std::size_t i, EvalMode mode, Rng &rng,
-                  bool *fired = nullptr);
+    /** Winners (and fired flags) for every sample of @p data. */
+    std::vector<int> winnersFor(SnnNetwork &net,
+                                const datasets::Dataset &data,
+                                EvalMode mode, uint64_t seed,
+                                std::vector<uint8_t> *fired) const;
 
     SpikeEncoder encoder_;
     StatRegistry *stats_ = nullptr;

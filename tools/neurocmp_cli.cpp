@@ -25,6 +25,7 @@
 
 #include "neuro/common/config.h"
 #include "neuro/common/logging.h"
+#include "neuro/common/parallel.h"
 #include "neuro/common/profile.h"
 #include "neuro/common/rng.h"
 #include "neuro/common/serialize.h"
@@ -61,6 +62,9 @@ cmdList()
         "Chrome trace (Perfetto); --stats-dump prints scope timings and\n"
         "counters at exit; NEURO_TRACE / NEURO_STATS_DUMP do the same\n"
         "for any binary, benches included (docs/observability.md).\n"
+        "parallelism: --threads=N (or NEURO_THREADS) sets the worker\n"
+        "pool width; 1 = fully serial, default = all hardware threads.\n"
+        "results are identical at any setting (docs/parallelism.md).\n"
         "for the full per-table reproduction, run the bench/ binaries.\n");
     return 0;
 }
@@ -276,6 +280,7 @@ main(int argc, char **argv)
     cfg.parseEnv();
     cfg.parseArgs(argc, argv);
     initObservability(cfg);
+    initParallel(cfg);
     const char *cmd = argc > 1 ? argv[1] : "list";
 
     if (std::strcmp(cmd, "list") == 0 || std::strcmp(cmd, "help") == 0)
