@@ -60,87 +60,52 @@ SpikeEncoder::SpikeEncoder(const CodingConfig &config)
     NEURO_ASSERT(config_.minIntervalMs > 0, "min interval must be > 0");
 }
 
-SpikeTrainGrid
-SpikeEncoder::encode(const uint8_t *pixels, std::size_t num_pixels,
-                     Rng &rng) const
-{
-    SpikeTrainGrid grid;
-    encodeInto(pixels, num_pixels, rng, grid);
-    return grid;
-}
+namespace {
 
+/**
+ * Spike generation shared by the dense and packed encoders: calls
+ * emit(tick, pixel) for every spike, in per-pixel time order within a
+ * pixel-major (or, for rank order, rank-major) sweep. Both sinks see
+ * the identical emission sequence and the identical Rng consumption,
+ * which is what makes the two grid representations interchangeable.
+ */
+template <typename Emit>
 void
-SpikeEncoder::encodeInto(const uint8_t *pixels, std::size_t num_pixels,
-                         Rng &rng, SpikeTrainGrid &grid) const
+emitRate(const CodingConfig &config, const uint8_t *pixels, std::size_t n,
+         Rng &rng, Emit &&emit)
 {
-    // resize() keeps existing tick vectors (and their heap buffers);
-    // clearing them only resets sizes, so a reused grid stops
-    // allocating once it has seen one densely coded image.
-    grid.ticks.resize(static_cast<std::size_t>(config_.periodMs));
-    for (auto &tick : grid.ticks)
-        tick.clear();
-    switch (config_.scheme) {
-      case CodingScheme::RatePoisson:
-      case CodingScheme::RateGaussian:
-      case CodingScheme::RateRegular:
-      case CodingScheme::RateBernoulli:
-        encodeRate(pixels, num_pixels, rng, grid);
-        break;
-      case CodingScheme::TimeToFirstSpike:
-      case CodingScheme::RankOrder:
-        encodeTemporal(pixels, num_pixels, grid);
-        break;
-    }
-}
-
-uint8_t
-SpikeEncoder::spikeCount(uint8_t pixel) const
-{
-    // Expected spikes in the window at the pixel's rate: the hardware
-    // emits this directly as a 4-bit value instead of a unary train.
-    const double max_spikes = static_cast<double>(config_.periodMs) /
-        static_cast<double>(config_.minIntervalMs);
-    const double n =
-        max_spikes * static_cast<double>(pixel) / 255.0;
-    return static_cast<uint8_t>(std::lround(n));
-}
-
-uint8_t
-SpikeEncoder::maxSpikeCount() const
-{
-    return spikeCount(255);
-}
-
-void
-SpikeEncoder::encodeRate(const uint8_t *pixels, std::size_t n, Rng &rng,
-                         SpikeTrainGrid &grid) const
-{
-    const double period = static_cast<double>(config_.periodMs);
-    const double min_interval = static_cast<double>(config_.minIntervalMs);
+    const double period = static_cast<double>(config.periodMs);
+    const double min_interval = static_cast<double>(config.minIntervalMs);
     for (std::size_t p = 0; p < n; ++p) {
         if (pixels[p] == 0)
             continue; // zero luminance, zero rate.
         // Rate proportional to luminance: mean inter-spike interval.
         const double mean =
             min_interval * 255.0 / static_cast<double>(pixels[p]);
-        switch (config_.scheme) {
+        switch (config.scheme) {
           case CodingScheme::RatePoisson: {
+            // Sub-millisecond inter-arrivals can land two draws on the
+            // same tick; they merge (one spike per pixel per cycle).
+            int last_tick = -1;
             double t = rng.exponential(mean);
             while (t < period) {
-                grid.ticks[static_cast<std::size_t>(t)].push_back(
-                    static_cast<uint16_t>(p));
+                const int tick = static_cast<int>(t);
+                if (tick != last_tick) {
+                    emit(tick, static_cast<uint16_t>(p));
+                    last_tick = tick;
+                }
                 t += rng.exponential(mean);
             }
             break;
           }
           case CodingScheme::RateGaussian: {
             // Gaussian inter-arrival: the SNNwt hardware's CLT
-            // generator (sigma configurable, truncated at 1 ms).
-            const double sigma = config_.gaussianSigmaFactor * mean;
+            // generator (sigma configurable, truncated at 1 ms, so
+            // ticks are always distinct).
+            const double sigma = config.gaussianSigmaFactor * mean;
             double t = std::max(1.0, rng.gaussian(mean, sigma));
             while (t < period) {
-                grid.ticks[static_cast<std::size_t>(t)].push_back(
-                    static_cast<uint16_t>(p));
+                emit(static_cast<int>(t), static_cast<uint16_t>(p));
                 t += std::max(1.0, rng.gaussian(mean, sigma));
             }
             break;
@@ -150,43 +115,41 @@ SpikeEncoder::encodeRate(const uint8_t *pixels, std::size_t n, Rng &rng,
             // trains are not all aligned.
             double t = rng.uniform(0.0, mean);
             while (t < period) {
-                grid.ticks[static_cast<std::size_t>(t)].push_back(
-                    static_cast<uint16_t>(p));
+                emit(static_cast<int>(t), static_cast<uint16_t>(p));
                 t += mean;
             }
             break;
           }
           case CodingScheme::RateBernoulli: {
             const double prob = 1.0 / mean;
-            for (int t = 0; t < config_.periodMs; ++t) {
-                if (rng.uniform() < prob) {
-                    grid.ticks[static_cast<std::size_t>(t)].push_back(
-                        static_cast<uint16_t>(p));
-                }
+            for (int t = 0; t < config.periodMs; ++t) {
+                if (rng.uniform() < prob)
+                    emit(t, static_cast<uint16_t>(p));
             }
             break;
           }
           default:
-            panic("encodeRate called with a temporal scheme");
+            panic("emitRate called with a temporal scheme");
         }
     }
 }
 
+template <typename Emit>
 void
-SpikeEncoder::encodeTemporal(const uint8_t *pixels, std::size_t n,
-                             SpikeTrainGrid &grid) const
+emitTemporal(const CodingConfig &config, const uint8_t *pixels,
+             std::size_t n, Emit &&emit)
 {
-    const std::size_t period = static_cast<std::size_t>(config_.periodMs);
-    if (config_.scheme == CodingScheme::TimeToFirstSpike) {
+    const std::size_t period = static_cast<std::size_t>(config.periodMs);
+    if (config.scheme == CodingScheme::TimeToFirstSpike) {
         // One spike per pixel; brighter pixels fire earlier:
         // t = Tperiod * (1 - p/255). Zero-luminance pixels never fire.
         for (std::size_t p = 0; p < n; ++p) {
             if (pixels[p] == 0)
                 continue;
-            auto t = static_cast<std::size_t>(
+            const auto t = static_cast<int>(
                 std::lround(static_cast<double>(period - 1) *
                             (1.0 - static_cast<double>(pixels[p]) / 255.0)));
-            grid.ticks[t].push_back(static_cast<uint16_t>(p));
+            emit(t, static_cast<uint16_t>(p));
         }
         return;
     }
@@ -208,8 +171,83 @@ SpikeEncoder::encodeTemporal(const uint8_t *pixels, std::size_t n,
         return;
     for (std::size_t rank = 0; rank < active; ++rank) {
         const std::size_t t = rank * period / active;
-        grid.ticks[t].push_back(static_cast<uint16_t>(order[rank]));
+        emit(static_cast<int>(t),
+             static_cast<uint16_t>(order[rank]));
     }
+}
+
+template <typename Emit>
+void
+emitSpikes(const CodingConfig &config, const uint8_t *pixels,
+           std::size_t n, Rng &rng, Emit &&emit)
+{
+    switch (config.scheme) {
+      case CodingScheme::RatePoisson:
+      case CodingScheme::RateGaussian:
+      case CodingScheme::RateRegular:
+      case CodingScheme::RateBernoulli:
+        emitRate(config, pixels, n, rng, emit);
+        break;
+      case CodingScheme::TimeToFirstSpike:
+      case CodingScheme::RankOrder:
+        emitTemporal(config, pixels, n, emit);
+        break;
+    }
+}
+
+} // namespace
+
+SpikeTrainGrid
+SpikeEncoder::encode(const uint8_t *pixels, std::size_t num_pixels,
+                     Rng &rng) const
+{
+    SpikeTrainGrid grid;
+    encodeInto(pixels, num_pixels, rng, grid);
+    return grid;
+}
+
+void
+SpikeEncoder::encodeInto(const uint8_t *pixels, std::size_t num_pixels,
+                         Rng &rng, SpikeTrainGrid &grid) const
+{
+    // resize() keeps existing tick vectors (and their heap buffers);
+    // clearing them only resets sizes, so a reused grid stops
+    // allocating once it has seen one densely coded image.
+    grid.ticks.resize(static_cast<std::size_t>(config_.periodMs));
+    for (auto &tick : grid.ticks)
+        tick.clear();
+    emitSpikes(config_, pixels, num_pixels, rng,
+               [&grid](int t, uint16_t p) {
+                   grid.ticks[static_cast<std::size_t>(t)].push_back(p);
+               });
+}
+
+void
+SpikeEncoder::encodePacked(const uint8_t *pixels, std::size_t num_pixels,
+                           Rng &rng, PackedSpikeGrid &grid) const
+{
+    grid.reset(num_pixels, config_.periodMs);
+    emitSpikes(config_, pixels, num_pixels, rng,
+               [&grid](int t, uint16_t p) { grid.addSpike(t, p); });
+    grid.finalize();
+}
+
+uint8_t
+SpikeEncoder::spikeCount(uint8_t pixel) const
+{
+    // Expected spikes in the window at the pixel's rate: the hardware
+    // emits this directly as a 4-bit value instead of a unary train.
+    const double max_spikes = static_cast<double>(config_.periodMs) /
+        static_cast<double>(config_.minIntervalMs);
+    const double n =
+        max_spikes * static_cast<double>(pixel) / 255.0;
+    return static_cast<uint8_t>(std::lround(n));
+}
+
+uint8_t
+SpikeEncoder::maxSpikeCount() const
+{
+    return spikeCount(255);
 }
 
 } // namespace snn

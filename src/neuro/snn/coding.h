@@ -4,6 +4,12 @@
  * spike trains over one image-presentation window (Tperiod, 1 ms
  * resolution, "one clock cycle models one millisecond" in hardware).
  *
+ * A pixel emits at most one spike per 1 ms tick: one clock cycle models
+ * one millisecond, and the hardware spike generator cannot fire twice in
+ * a cycle, so sub-millisecond Poisson inter-arrivals merge into one
+ * spike. This keeps the dense and bit-packed representations exactly
+ * equivalent (a bit cannot hold a multiplicity).
+ *
  * Rate codes (four variants, rate proportional to luminance; maximum
  * luminance 255 maps to the minimum mean inter-spike interval U = 50 ms,
  * i.e. 10 spikes in a 500 ms window):
@@ -25,6 +31,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "neuro/snn/spike_bits.h"
 
 namespace neuro {
 
@@ -94,6 +102,16 @@ class SpikeEncoder
                     Rng &rng, SpikeTrainGrid &grid) const;
 
     /**
+     * Encode directly into a bit-packed, event-indexed grid (finalized
+     * on return). Consumes the Rng identically to encodeInto(), and the
+     * resulting grid expands (toDense) to the exact dense grid — the
+     * two representations are interchangeable bit-for-bit. All six
+     * coding schemes are supported.
+     */
+    void encodePacked(const uint8_t *pixels, std::size_t num_pixels,
+                      Rng &rng, PackedSpikeGrid &grid) const;
+
+    /**
      * The SNNwot deterministic conversion (Section 4.2.2): the number of
      * spikes a pixel would emit, as the 4-bit value the hardware
      * generates directly (0..periodMs/minIntervalMs).
@@ -104,11 +122,6 @@ class SpikeEncoder
     uint8_t maxSpikeCount() const;
 
   private:
-    void encodeRate(const uint8_t *pixels, std::size_t n, Rng &rng,
-                    SpikeTrainGrid &grid) const;
-    void encodeTemporal(const uint8_t *pixels, std::size_t n,
-                        SpikeTrainGrid &grid) const;
-
     CodingConfig config_;
 };
 

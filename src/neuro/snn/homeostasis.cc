@@ -33,22 +33,49 @@ Homeostasis::advance(int64_t dt_ms, LifNeuron *neurons, std::size_t count)
     return boundaries;
 }
 
+int
+Homeostasis::advance(int64_t dt_ms, double *thresholds,
+                     uint32_t *fireCounts, std::size_t count)
+{
+    if (!config_.enabled)
+        return 0;
+    NEURO_ASSERT(dt_ms >= 0, "time cannot run backwards");
+    int boundaries = 0;
+    elapsedInEpoch_ += dt_ms;
+    while (elapsedInEpoch_ >= config_.epochMs) {
+        elapsedInEpoch_ -= config_.epochMs;
+        applyEpoch(thresholds, fireCounts, count);
+        ++boundaries;
+        ++epochs_;
+    }
+    return boundaries;
+}
+
 void
 Homeostasis::applyEpoch(LifNeuron *neurons, std::size_t count)
 {
     for (std::size_t i = 0; i < count; ++i) {
         LifNeuron &n = neurons[i];
-        const double activity = static_cast<double>(n.fireCount);
+        applyEpoch(&n.threshold, &n.fireCount, 1);
+    }
+}
+
+void
+Homeostasis::applyEpoch(double *thresholds, uint32_t *fireCounts,
+                        std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const double activity = static_cast<double>(fireCounts[i]);
         const double diff = activity - config_.activityTarget;
         // sign(activity - target) * threshold * r; no change at exactly
         // the target.
         if (diff > 0)
-            n.threshold += n.threshold * config_.rate;
+            thresholds[i] += thresholds[i] * config_.rate;
         else if (diff < 0)
-            n.threshold -= n.threshold * config_.rate *
-                           config_.downFactor;
-        n.threshold = std::max(n.threshold, config_.minThreshold);
-        n.fireCount = 0;
+            thresholds[i] -= thresholds[i] * config_.rate *
+                             config_.downFactor;
+        thresholds[i] = std::max(thresholds[i], config_.minThreshold);
+        fireCounts[i] = 0;
     }
 }
 

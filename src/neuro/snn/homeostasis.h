@@ -53,11 +53,20 @@ class Homeostasis
      */
     int advance(int64_t dt_ms, LifNeuron *neurons, std::size_t count);
 
+    /**
+     * Structure-of-arrays overload: identical update applied to
+     * separate threshold / fire-count arrays (SnnNetwork's layout).
+     */
+    int advance(int64_t dt_ms, double *thresholds, uint32_t *fireCounts,
+                std::size_t count);
+
     /** @return total epochs processed so far. */
     int64_t epochsProcessed() const { return epochs_; }
 
   private:
     void applyEpoch(LifNeuron *neurons, std::size_t count);
+    void applyEpoch(double *thresholds, uint32_t *fireCounts,
+                    std::size_t count);
 
     HomeostasisConfig config_;
     int64_t elapsedInEpoch_ = 0;

@@ -1,7 +1,11 @@
 #include "neuro/snn/network.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 
 #include "neuro/common/logging.h"
 #include "neuro/common/profile.h"
@@ -9,6 +13,27 @@
 
 namespace neuro {
 namespace snn {
+
+SnnEngine
+defaultSnnEngine()
+{
+    static const SnnEngine engine = [] {
+        const char *env = std::getenv("NEURO_SNN_ENGINE");
+        if (env != nullptr &&
+            (std::strcmp(env, "dense") == 0 ||
+             std::strcmp(env, "Dense") == 0)) {
+            return SnnEngine::Dense;
+        }
+        return SnnEngine::Event;
+    }();
+    return engine;
+}
+
+const char *
+snnEngineName(SnnEngine engine)
+{
+    return engine == SnnEngine::Dense ? "dense" : "event";
+}
 
 int
 PresentationResult::winner(Readout readout) const
@@ -39,7 +64,12 @@ PresentationResult::winner(Readout readout) const
 SnnNetwork::SnnNetwork(const SnnConfig &config, Rng &rng)
     : config_(config),
       weights_(config.numNeurons, config.numInputs),
-      neurons_(config.numNeurons),
+      potentials_(config.numNeurons, 0.0),
+      thresholds_(config.numNeurons, 0.0),
+      lastUpdateMs_(config.numNeurons, 0),
+      refractoryUntil_(config.numNeurons, -1),
+      inhibitedUntil_(config.numNeurons, -1),
+      fireCounts_(config.numNeurons, 0),
       stdp_(config.stdp),
       homeostasis_(config.homeostasis),
       lastInputSpike_(config.numInputs, -1)
@@ -48,8 +78,8 @@ SnnNetwork::SnnNetwork(const SnnConfig &config, Rng &rng)
                  "empty network");
     NEURO_ASSERT(config_.initialThreshold > 0.0, "threshold must be > 0");
     weights_.fillUniform(rng, config_.wInitMin, config_.wInitMax);
-    for (auto &n : neurons_) {
-        n.threshold = config_.initialThreshold *
+    for (auto &threshold : thresholds_) {
+        threshold = config_.initialThreshold *
             (1.0 + config_.thresholdJitter * (rng.uniform() - 0.5));
     }
 }
@@ -59,9 +89,55 @@ SnnNetwork::beginPresentation(PresentationResult &result)
 {
     result = PresentationResult();
     result.spikeCountPerNeuron.assign(config_.numNeurons, 0);
-    for (auto &n : neurons_)
-        n.resetDynamics();
+    std::fill(potentials_.begin(), potentials_.end(), 0.0);
+    std::fill(lastUpdateMs_.begin(), lastUpdateMs_.end(), 0);
+    std::fill(refractoryUntil_.begin(), refractoryUntil_.end(),
+              int64_t{-1});
+    std::fill(inhibitedUntil_.begin(), inhibitedUntil_.end(),
+              int64_t{-1});
     std::fill(lastInputSpike_.begin(), lastInputSpike_.end(), -1);
+}
+
+void
+SnnNetwork::fireNeuron(int fire_n, int64_t t, bool learn,
+                       PresentationResult &result)
+{
+    const std::size_t num_neurons = config_.numNeurons;
+    const std::size_t num_inputs = config_.numInputs;
+    const auto fn = static_cast<std::size_t>(fire_n);
+
+    potentials_[fn] = 0.0;
+    refractoryUntil_[fn] = t + config_.tRefracMs;
+    ++fireCounts_[fn];
+    ++result.outputSpikeCount;
+    if (result.firstSpikeNeuron < 0) {
+        result.firstSpikeNeuron = fire_n;
+        result.firstSpikeTimeMs = t;
+    }
+    for (std::size_t n = 0; n < num_neurons; ++n) {
+        if (static_cast<int>(n) == fire_n)
+            continue;
+        inhibitedUntil_[n] =
+            std::max(inhibitedUntil_[n], t + config_.tInhibitMs);
+        if (config_.wtaReset)
+            potentials_[n] = 0.0;
+    }
+    result.wtaInhibitions += num_neurons - 1;
+    if (learn) {
+        const std::size_t potentiated = stdp_.onPostSpike(
+            weights_.row(fn), lastInputSpike_.data(), t, num_inputs);
+        result.stdpPotentiated += potentiated;
+        result.stdpDepressed += num_inputs - potentiated;
+        if (!weightsTDirty_) {
+            // Keep the event engine's transposed copy coherent: the
+            // STDP update rewrote one weight row = one column of it.
+            const float *row = weights_.row(fn);
+            for (std::size_t p = 0; p < num_inputs; ++p)
+                weightsT_(p, fn) = row[p];
+        }
+    }
+    if (Tracer::enabled())
+        Tracer::instance().instant("snn.fire", "spike");
 }
 
 void
@@ -82,15 +158,20 @@ SnnNetwork::stepTick(int64_t t, const std::vector<uint16_t> &spikes,
     // Integrate the tick's synaptic drive into every ungated neuron
     // (gated = refractory or laterally inhibited).
     for (std::size_t n = 0; n < num_neurons; ++n) {
-        LifNeuron &neuron = neurons_[n];
-        if (neuron.gated(t))
+        if (gatedAt(n, t))
             continue;
-        neuron.decayTo(t, config_.tLeakMs);
+        if (t > lastUpdateMs_[n]) {
+            potentials_[n] = lifDecay(
+                potentials_[n],
+                static_cast<double>(t - lastUpdateMs_[n]),
+                config_.tLeakMs);
+            lastUpdateMs_[n] = t;
+        }
         const float *row = weights_.row(n);
         double drive = 0.0;
         for (uint16_t p : spikes)
             drive += row[p];
-        neuron.integrate(drive);
+        potentials_[n] += drive;
     }
     for (uint16_t p : spikes) {
         NEURO_ASSERT(p < num_inputs, "input spike out of range");
@@ -104,44 +185,17 @@ SnnNetwork::stepTick(int64_t t, const std::vector<uint16_t> &spikes,
     int fire_n = -1;
     double best_margin = 0.0;
     for (std::size_t n = 0; n < num_neurons; ++n) {
-        const LifNeuron &neuron = neurons_[n];
-        if (neuron.gated(t) || !neuron.shouldFire())
+        if (gatedAt(n, t) || potentials_[n] < thresholds_[n])
             continue;
-        const double margin = neuron.potential - neuron.threshold;
+        const double margin = potentials_[n] - thresholds_[n];
         if (fire_n < 0 || margin > best_margin) {
             fire_n = static_cast<int>(n);
             best_margin = margin;
         }
     }
     if (fire_n >= 0) {
-        LifNeuron &winner =
-            neurons_[static_cast<std::size_t>(fire_n)];
-        winner.fire(t, config_.tRefracMs);
-        ++result.outputSpikeCount;
+        fireNeuron(fire_n, t, learn, result);
         ++result.spikeCountPerNeuron[static_cast<std::size_t>(fire_n)];
-        if (result.firstSpikeNeuron < 0) {
-            result.firstSpikeNeuron = fire_n;
-            result.firstSpikeTimeMs = t;
-        }
-        for (std::size_t n = 0; n < num_neurons; ++n) {
-            if (static_cast<int>(n) == fire_n)
-                continue;
-            neurons_[n].inhibitedUntil =
-                std::max(neurons_[n].inhibitedUntil,
-                         t + config_.tInhibitMs);
-            if (config_.wtaReset)
-                neurons_[n].potential = 0.0;
-        }
-        result.wtaInhibitions += num_neurons - 1;
-        if (learn) {
-            const std::size_t potentiated = stdp_.onPostSpike(
-                weights_.row(static_cast<std::size_t>(fire_n)),
-                lastInputSpike_.data(), t, num_inputs);
-            result.stdpPotentiated += potentiated;
-            result.stdpDepressed += num_inputs - potentiated;
-        }
-        if (Tracer::enabled())
-            Tracer::instance().instant("snn.fire", "spike");
         if (trace) {
             trace->outputSpikes.emplace_back(
                 static_cast<int>(t), static_cast<uint16_t>(fire_n));
@@ -161,14 +215,22 @@ SnnNetwork::finishPresentation(bool learn, PresentationResult &result)
     // max-potential readout.
     double best_pot = -1.0;
     for (std::size_t n = 0; n < config_.numNeurons; ++n) {
-        neurons_[n].decayTo(period, config_.tLeakMs);
-        if (neurons_[n].potential > best_pot) {
-            best_pot = neurons_[n].potential;
+        if (period > lastUpdateMs_[n]) {
+            potentials_[n] = lifDecay(
+                potentials_[n],
+                static_cast<double>(period - lastUpdateMs_[n]),
+                config_.tLeakMs);
+            lastUpdateMs_[n] = period;
+        }
+        if (potentials_[n] > best_pot) {
+            best_pot = potentials_[n];
             result.maxPotentialNeuron = static_cast<int>(n);
         }
     }
-    if (learn)
-        homeostasis_.advance(period, neurons_.data(), neurons_.size());
+    if (learn) {
+        homeostasis_.advance(period, thresholds_.data(),
+                             fireCounts_.data(), config_.numNeurons);
+    }
 
     if (obsEnabled()) {
         obsCount("snn.input_spikes", result.inputSpikeCount);
@@ -207,17 +269,164 @@ SnnNetwork::presentImage(const SpikeTrainGrid &grid, bool learn,
             std::vector<float> row(trace_neurons);
             for (std::size_t n = 0; n < trace_neurons; ++n) {
                 // Sample the decayed value without mutating state.
-                const LifNeuron &neuron = neurons_[n];
                 row[n] = static_cast<float>(
-                    lifDecay(neuron.potential,
+                    lifDecay(potentials_[n],
                              static_cast<double>(
-                                 t - neuron.lastUpdateMs < 0
+                                 t - lastUpdateMs_[n] < 0
                                      ? 0
-                                     : t - neuron.lastUpdateMs),
+                                     : t - lastUpdateMs_[n]),
                              config_.tLeakMs));
             }
             trace->potentials.push_back(std::move(row));
         }
+    }
+    finishPresentation(learn, result);
+    return result;
+}
+
+PresentationResult
+SnnNetwork::present(const PackedSpikeGrid &grid, bool learn)
+{
+    if (config_.engine == SnnEngine::Event)
+        return presentEvents(grid, learn);
+    grid.toDense(denseScratch_);
+    return presentImage(denseScratch_, learn);
+}
+
+void
+SnnNetwork::refreshWeightsT()
+{
+    if (!weightsTDirty_)
+        return;
+    if (weightsT_.rows() != config_.numInputs ||
+        weightsT_.cols() != config_.numNeurons) {
+        weightsT_ = Matrix(config_.numInputs, config_.numNeurons);
+    }
+    for (std::size_t n = 0; n < config_.numNeurons; ++n) {
+        const float *row = weights_.row(n);
+        for (std::size_t p = 0; p < config_.numInputs; ++p)
+            weightsT_(p, n) = row[p];
+    }
+    weightsTDirty_ = false;
+}
+
+PresentationResult
+SnnNetwork::presentEvents(const PackedSpikeGrid &grid, bool learn)
+{
+    NEURO_PROFILE_SCOPE("snn/present_events");
+    const std::size_t num_neurons = config_.numNeurons;
+    const std::size_t num_inputs = config_.numInputs;
+    const int period = config_.coding.periodMs;
+    NEURO_ASSERT(grid.periodMs() == period,
+                 "packed grid period %d != config period %d",
+                 grid.periodMs(), period);
+    NEURO_ASSERT(grid.numInputs() == num_inputs,
+                 "packed grid inputs %zu != config inputs %zu",
+                 grid.numInputs(), num_inputs);
+
+    refreshWeightsT();
+
+    PresentationResult result;
+    beginPresentation(result);
+
+    driveScratch_.assign(num_neurons, 0.0);
+    // Shared-exponential decay table: exp(-dt/Tleak) depends only on
+    // dt, and at any tick most ungated neurons share the same dt (the
+    // gap since the previous active tick) — one exp serves them all,
+    // where the dense walk pays one exp per neuron per tick. Lazily
+    // filled, NaN marks unset.
+    decayFactors_.assign(static_cast<std::size_t>(period) + 1,
+                         std::numeric_limits<double>::quiet_NaN());
+    const std::size_t out_words =
+        (static_cast<std::size_t>(period) + 63) / 64;
+    outSpikeBits_.assign(num_neurons * out_words, 0);
+
+    const auto &active = grid.activeTicks();
+    double *__restrict drive = driveScratch_.data();
+    double *__restrict pot = potentials_.data();
+    const double *__restrict thr = thresholds_.data();
+    int64_t *__restrict last = lastUpdateMs_.data();
+
+    for (std::size_t k = 0; k < active.size(); ++k) {
+        const int64_t t = active[k];
+        std::size_t spike_count = 0;
+        const uint16_t *spikes = grid.inputsAt(k, &spike_count);
+        result.inputSpikeCount += spike_count;
+        if (Tracer::enabled()) {
+            Tracer::instance().counter(
+                "snn.spikes_per_tick",
+                static_cast<double>(spike_count));
+        }
+
+        // Phase 1: synaptic drive for every neuron via the transposed
+        // weights — per neuron, the additions run in the same spike
+        // order as the dense row walk, so the sums are bit-identical.
+        std::fill(driveScratch_.begin(), driveScratch_.end(), 0.0);
+        for (std::size_t s = 0; s < spike_count; ++s) {
+            const float *__restrict wt = weightsT_.row(spikes[s]);
+            for (std::size_t n = 0; n < num_neurons; ++n)
+                drive[n] += wt[n];
+        }
+
+        // Phase 2: decay-and-integrate the ungated neurons, tracking
+        // the WTA winner in the same index-order pass (per-neuron
+        // updates are independent, so fusing the dense walk's
+        // integrate loop and fire scan changes nothing). Gated
+        // neurons keep their stale lastUpdate and catch up later,
+        // exactly as the dense walk leaves them.
+        int fire_n = -1;
+        double best_margin = 0.0;
+        for (std::size_t n = 0; n < num_neurons; ++n) {
+            if (gatedAt(n, t))
+                continue;
+            const int64_t dt = t - last[n];
+            if (dt > 0) {
+                if (pot[n] != 0.0) {
+                    const auto slot = static_cast<std::size_t>(dt);
+                    double factor = decayFactors_[slot];
+                    if (std::isnan(factor)) {
+                        factor = std::exp(-static_cast<double>(dt) /
+                                          config_.tLeakMs);
+                        decayFactors_[slot] = factor;
+                    }
+                    pot[n] *= factor;
+                }
+                last[n] = t;
+            }
+            pot[n] += drive[n];
+            if (pot[n] >= thr[n]) {
+                const double margin = pot[n] - thr[n];
+                if (fire_n < 0 || margin > best_margin) {
+                    fire_n = static_cast<int>(n);
+                    best_margin = margin;
+                }
+            }
+        }
+        for (std::size_t s = 0; s < spike_count; ++s)
+            lastInputSpike_[spikes[s]] = t;
+        if (fire_n >= 0) {
+            fireNeuron(fire_n, t, learn, result);
+            outSpikeBits_[static_cast<std::size_t>(fire_n) * out_words +
+                          static_cast<std::size_t>(t) / 64] |=
+                uint64_t{1} << (static_cast<unsigned>(t) % 64);
+        }
+    }
+
+    // Per-neuron output-spike counts by popcount over the output bit
+    // plane (the MaxSpikeCount readout's accumulator).
+    for (std::size_t n = 0; n < num_neurons; ++n) {
+        std::size_t count = 0;
+        const uint64_t *row = outSpikeBits_.data() + n * out_words;
+        for (std::size_t w = 0; w < out_words; ++w)
+            count += static_cast<std::size_t>(std::popcount(row[w]));
+        result.spikeCountPerNeuron[n] = static_cast<uint16_t>(count);
+    }
+
+    if (obsEnabled()) {
+        obsCount("snn.engine.events", result.inputSpikeCount);
+        obsCount("snn.engine.ticks_active", active.size());
+        obsCount("snn.engine.ticks_skipped",
+                 static_cast<uint64_t>(period) - active.size());
     }
     finishPresentation(learn, result);
     return result;

@@ -6,6 +6,22 @@
  * in the hardware). Readout is spike-based: the first neuron to fire
  * wins; the hardware SNNwot variant reads out the highest potential
  * instead.
+ *
+ * Two execution engines share the same dynamics (docs/snn_engine.md):
+ *
+ *  - Dense: the reference per-tick walk over a `SpikeTrainGrid`
+ *    (presentImage / stepTick), unchanged from the original code;
+ *  - Event: an event-driven sweep over a bit-packed `PackedSpikeGrid`
+ *    (presentEvents) that touches only spike-carrying ticks, shares one
+ *    exponential per distinct decay interval, and accumulates synaptic
+ *    drive through a transposed weight copy so the inner loop is a
+ *    contiguous vector sweep. The two engines are bit-identical: same
+ *    winners, same potentials, same learned weights (tests enforce it).
+ *
+ * LIF state is kept as structure-of-arrays (separate potential /
+ * threshold / timing arrays) so the per-tick inner loops vectorize; the
+ * `LifNeuron` aggregate in lif.h remains the single-neuron unit used by
+ * the LIF/homeostasis unit tests.
  */
 
 #ifndef NEURO_SNN_NETWORK_H
@@ -18,6 +34,7 @@
 #include "neuro/snn/coding.h"
 #include "neuro/snn/homeostasis.h"
 #include "neuro/snn/lif.h"
+#include "neuro/snn/spike_bits.h"
 #include "neuro/snn/stdp.h"
 
 namespace neuro {
@@ -25,6 +42,22 @@ namespace neuro {
 class Rng;
 
 namespace snn {
+
+/** Which execution engine drives a presentation. */
+enum class SnnEngine
+{
+    Dense, ///< reference dense tick loop over SpikeTrainGrid.
+    Event, ///< event-driven sparse engine over PackedSpikeGrid.
+};
+
+/**
+ * Process-wide default engine: Event, unless the NEURO_SNN_ENGINE
+ * environment variable says "dense" (the CI reference-path job).
+ */
+SnnEngine defaultSnnEngine();
+
+/** @return a printable name for @p engine. */
+const char *snnEngineName(SnnEngine engine);
 
 /** Full SNN configuration (paper defaults of Table 1). */
 struct SnnConfig
@@ -48,6 +81,8 @@ struct SnnConfig
     HomeostasisConfig homeostasis;///< threshold adaptation.
     float wInitMin = 0.3f * 255.0f; ///< initial weight range, low.
     float wInitMax = 0.7f * 255.0f; ///< initial weight range, high.
+    /** Execution engine for packed presentations (present()). */
+    SnnEngine engine = defaultSnnEngine();
 };
 
 /** How the winning neuron is read out. */
@@ -92,7 +127,7 @@ struct PresentationResult
 /**
  * The single-layer WTA spiking network. Owns the synaptic weight matrix
  * (numNeurons x numInputs, weights in [0, wMax]), the per-neuron LIF
- * state and thresholds, and the STDP + homeostasis machinery.
+ * state (structure-of-arrays) and the STDP + homeostasis machinery.
  */
 class SnnNetwork
 {
@@ -105,16 +140,25 @@ class SnnNetwork
 
     /** @return the weight matrix (numNeurons x numInputs). */
     const Matrix &weights() const { return weights_; }
-    /** @return mutable weights (tests, SNN+BP). */
-    Matrix &weights() { return weights_; }
+    /** @return mutable weights (tests, SNN+BP); invalidates the event
+     *  engine's transposed copy, which is rebuilt lazily. */
+    Matrix &
+    weights()
+    {
+        weightsTDirty_ = true;
+        return weights_;
+    }
 
-    /** @return per-neuron LIF state (thresholds included). */
-    const std::vector<LifNeuron> &neurons() const { return neurons_; }
-    /** @return mutable neuron state. */
-    std::vector<LifNeuron> &neurons() { return neurons_; }
+    /** @return per-neuron membrane potentials. */
+    const std::vector<double> &potentials() const { return potentials_; }
+    /** @return per-neuron firing thresholds. */
+    const std::vector<double> &thresholds() const { return thresholds_; }
+    /** @return mutable thresholds (serialization, tests). */
+    std::vector<double> &thresholds() { return thresholds_; }
 
     /**
-     * Present one encoded image for a full window.
+     * Present one encoded image for a full window with the reference
+     * dense engine.
      *
      * @param grid   the input spike train.
      * @param learn  apply STDP on firing events and advance homeostasis.
@@ -122,6 +166,23 @@ class SnnNetwork
      */
     PresentationResult presentImage(const SpikeTrainGrid &grid, bool learn,
                                     PresentationTrace *trace = nullptr);
+
+    /**
+     * Present a packed grid with the engine selected by
+     * config().engine: the Event engine runs presentEvents(); the
+     * Dense engine expands the grid into an internal scratch buffer
+     * and runs the reference presentImage(). Results are identical
+     * either way.
+     */
+    PresentationResult present(const PackedSpikeGrid &grid, bool learn);
+
+    /**
+     * The event-driven engine: walk only the spike-carrying ticks of a
+     * packed grid. Bit-identical to presentImage() on the equivalent
+     * dense grid (no trace support — use the dense engine for traces).
+     */
+    PresentationResult presentEvents(const PackedSpikeGrid &grid,
+                                     bool learn);
 
     /**
      * Step-wise presentation API: presentImage() is equivalent to
@@ -160,13 +221,50 @@ class SnnNetwork
     }
 
   private:
+    /** @return true if neuron @p n ignores inputs at time @p t. */
+    bool
+    gatedAt(std::size_t n, int64_t t) const
+    {
+        return t < refractoryUntil_[n] || t < inhibitedUntil_[n];
+    }
+
+    /** Shared fire-and-inhibit path of both engines (tick @p t). */
+    void fireNeuron(int fire_n, int64_t t, bool learn,
+                    PresentationResult &result);
+
+    /** Rebuild the transposed weight copy if weights changed. */
+    void refreshWeightsT();
+
     SnnConfig config_;
     Matrix weights_;
-    std::vector<LifNeuron> neurons_;
+    /** Transposed weights (numInputs x numNeurons) for the event
+     *  engine's contiguous drive accumulation; lazily rebuilt. */
+    Matrix weightsT_;
+    bool weightsTDirty_ = true;
+
+    // Per-neuron LIF state, structure-of-arrays (see lif.h for the
+    // single-neuron semantics each array column follows).
+    std::vector<double> potentials_;
+    std::vector<double> thresholds_;
+    std::vector<int64_t> lastUpdateMs_;
+    std::vector<int64_t> refractoryUntil_;
+    std::vector<int64_t> inhibitedUntil_;
+    std::vector<uint32_t> fireCounts_;
+
     StdpRule stdp_;
     Homeostasis homeostasis_;
     /** Per-input time of last presynaptic spike (presentation-local). */
     std::vector<int64_t> lastInputSpike_;
+
+    // Event-engine scratch (presentation-local, reused across calls).
+    std::vector<double> driveScratch_;
+    /** Lazily filled exp(-dt/Tleak) per integer dt (NaN = unset). */
+    std::vector<double> decayFactors_;
+    /** Output-spike bit plane: one bit per (neuron, tick); the
+     *  MaxSpikeCount readout counts are popcounts over it. */
+    std::vector<uint64_t> outSpikeBits_;
+    /** Dense expansion buffer for the Dense-engine present() path. */
+    SpikeTrainGrid denseScratch_;
 };
 
 } // namespace snn

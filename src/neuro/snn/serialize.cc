@@ -25,8 +25,8 @@ saveSnn(const SnnNetwork &net, const std::vector<int> &labels,
 
     std::vector<float> thresholds;
     thresholds.reserve(config.numNeurons);
-    for (const auto &neuron : net.neurons())
-        thresholds.push_back(static_cast<float>(neuron.threshold));
+    for (double threshold : net.thresholds())
+        thresholds.push_back(static_cast<float>(threshold));
     archive.putFloats(prefix + ".thresholds", std::move(thresholds));
 
     std::vector<int64_t> label_values(labels.begin(), labels.end());
@@ -73,7 +73,7 @@ loadSnn(const Archive &archive, const std::string &prefix)
     if (thresholds.size() != config.numNeurons)
         return std::nullopt;
     for (std::size_t n = 0; n < config.numNeurons; ++n)
-        model.network.neurons()[n].threshold = thresholds[n];
+        model.network.thresholds()[n] = thresholds[n];
 
     if (archive.has(prefix + ".labels")) {
         for (int64_t label : archive.ints(prefix + ".labels"))

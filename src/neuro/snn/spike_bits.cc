@@ -1,0 +1,170 @@
+#include "neuro/snn/spike_bits.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "neuro/common/logging.h"
+#include "neuro/snn/coding.h"
+
+namespace neuro {
+namespace snn {
+
+PackedSpikeGrid::PackedSpikeGrid(std::size_t num_inputs, int period_ms)
+{
+    reset(num_inputs, period_ms);
+}
+
+void
+PackedSpikeGrid::reset(std::size_t num_inputs, int period_ms)
+{
+    NEURO_ASSERT(period_ms > 0, "presentation period must be > 0");
+    numInputs_ = num_inputs;
+    periodMs_ = period_ms;
+    wordsPerInput_ = (static_cast<std::size_t>(period_ms) + 63) / 64;
+    finalized_ = false;
+    bits_.assign(numInputs_ * wordsPerInput_, 0);
+    rawTicks_.clear();
+    rawInputs_.clear();
+    activeTicks_.clear();
+    tickOffsets_.clear();
+    events_.clear();
+}
+
+bool
+PackedSpikeGrid::addSpike(int tick, uint16_t input)
+{
+    NEURO_ASSERT(!finalized_, "addSpike after finalize");
+    NEURO_ASSERT(tick >= 0 && tick < periodMs_, "tick %d out of window",
+                 tick);
+    NEURO_ASSERT(input < numInputs_, "input spike out of range");
+    const std::size_t word = static_cast<std::size_t>(input) *
+            wordsPerInput_ +
+        static_cast<std::size_t>(tick) / 64;
+    const uint64_t mask = uint64_t{1} << (static_cast<unsigned>(tick) % 64);
+    if (bits_[word] & mask)
+        return false; // merged duplicate.
+    bits_[word] |= mask;
+    rawTicks_.push_back(tick);
+    rawInputs_.push_back(input);
+    return true;
+}
+
+void
+PackedSpikeGrid::finalize()
+{
+    NEURO_ASSERT(!finalized_, "grid already finalized");
+    finalized_ = true;
+
+    // Stable counting sort of the raw events by tick: per-tick spike
+    // counts, prefix sums, then a placement pass that keeps emission
+    // order inside each tick (the dense encoder's list order).
+    std::vector<uint32_t> per_tick(static_cast<std::size_t>(periodMs_), 0);
+    for (int32_t t : rawTicks_)
+        ++per_tick[static_cast<std::size_t>(t)];
+
+    activeTicks_.clear();
+    tickOffsets_.clear();
+    uint32_t offset = 0;
+    std::vector<uint32_t> cursor(per_tick.size(), 0);
+    for (std::size_t t = 0; t < per_tick.size(); ++t) {
+        if (per_tick[t] == 0)
+            continue;
+        activeTicks_.push_back(static_cast<int32_t>(t));
+        tickOffsets_.push_back(offset);
+        cursor[t] = offset;
+        offset += per_tick[t];
+    }
+    tickOffsets_.push_back(offset);
+
+    events_.resize(rawTicks_.size());
+    for (std::size_t i = 0; i < rawTicks_.size(); ++i) {
+        const auto t = static_cast<std::size_t>(rawTicks_[i]);
+        events_[cursor[t]++] = rawInputs_[i];
+    }
+    rawTicks_.clear();
+    rawTicks_.shrink_to_fit();
+    rawInputs_.clear();
+    rawInputs_.shrink_to_fit();
+}
+
+bool
+PackedSpikeGrid::spikeAt(int tick, uint16_t input) const
+{
+    NEURO_ASSERT(tick >= 0 && tick < periodMs_ && input < numInputs_,
+                 "spike probe out of range");
+    const std::size_t word = static_cast<std::size_t>(input) *
+            wordsPerInput_ +
+        static_cast<std::size_t>(tick) / 64;
+    return (bits_[word] >> (static_cast<unsigned>(tick) % 64)) & 1;
+}
+
+std::size_t
+PackedSpikeGrid::countFor(std::size_t input) const
+{
+    NEURO_ASSERT(input < numInputs_, "input out of range");
+    const uint64_t *row = bits_.data() + input * wordsPerInput_;
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < wordsPerInput_; ++w)
+        count += static_cast<std::size_t>(std::popcount(row[w]));
+    return count;
+}
+
+void
+PackedSpikeGrid::pixelCounts(std::vector<uint8_t> &counts) const
+{
+    counts.resize(numInputs_);
+    for (std::size_t p = 0; p < numInputs_; ++p) {
+        const std::size_t c = countFor(p);
+        counts[p] = static_cast<uint8_t>(std::min<std::size_t>(c, 255));
+    }
+}
+
+const uint16_t *
+PackedSpikeGrid::inputsAt(std::size_t k, std::size_t *count) const
+{
+    NEURO_ASSERT(finalized_, "event index requires finalize()");
+    NEURO_ASSERT(k < activeTicks_.size(), "active tick out of range");
+    *count = tickOffsets_[k + 1] - tickOffsets_[k];
+    return events_.data() + tickOffsets_[k];
+}
+
+void
+PackedSpikeGrid::toDense(SpikeTrainGrid &grid) const
+{
+    NEURO_ASSERT(finalized_, "toDense requires finalize()");
+    grid.ticks.resize(static_cast<std::size_t>(periodMs_));
+    for (auto &tick : grid.ticks)
+        tick.clear();
+    for (std::size_t k = 0; k < activeTicks_.size(); ++k) {
+        std::size_t count = 0;
+        const uint16_t *inputs = inputsAt(k, &count);
+        auto &tick = grid.ticks[static_cast<std::size_t>(activeTicks_[k])];
+        tick.assign(inputs, inputs + count);
+    }
+}
+
+void
+PackedSpikeGrid::fromDense(const SpikeTrainGrid &grid,
+                           std::size_t num_inputs)
+{
+    reset(num_inputs, static_cast<int>(grid.ticks.size()));
+    for (std::size_t t = 0; t < grid.ticks.size(); ++t) {
+        for (uint16_t p : grid.ticks[t])
+            addSpike(static_cast<int>(t), p);
+    }
+    finalize();
+}
+
+std::size_t
+PackedSpikeGrid::bytes() const
+{
+    return bits_.capacity() * sizeof(uint64_t) +
+        rawTicks_.capacity() * sizeof(int32_t) +
+        rawInputs_.capacity() * sizeof(uint16_t) +
+        activeTicks_.capacity() * sizeof(int32_t) +
+        tickOffsets_.capacity() * sizeof(uint32_t) +
+        events_.capacity() * sizeof(uint16_t) + sizeof(*this);
+}
+
+} // namespace snn
+} // namespace neuro

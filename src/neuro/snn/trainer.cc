@@ -11,9 +11,30 @@
 namespace neuro {
 namespace snn {
 
-SnnStdpTrainer::SnnStdpTrainer(const SnnConfig &config)
-    : encoder_(config.coding)
+SnnStdpTrainer::SnnStdpTrainer(const SnnConfig &config,
+                               std::size_t cache_budget_bytes)
+    : encoder_(config.coding),
+      codingHash_(codingConfigHash(config.coding)),
+      gridCache_(cache_budget_bytes)
 {
+}
+
+std::shared_ptr<const PackedSpikeGrid>
+SnnStdpTrainer::gridFor(const datasets::Dataset &data, std::size_t index,
+                        uint64_t seed) const
+{
+    const auto &pixels = data[index].pixels;
+    GridKey key;
+    key.sampleIndex = index;
+    key.streamSeed = deriveStreamSeed(seed, index);
+    key.pixelHash = gridPixelHash(pixels.data(), pixels.size());
+    key.codingHash = codingHash_;
+    if (auto grid = gridCache_.find(key))
+        return grid;
+    Rng rng(key.streamSeed);
+    PackedSpikeGrid grid;
+    encoder_.encodePacked(pixels.data(), pixels.size(), rng, grid);
+    return gridCache_.insert(key, std::move(grid));
 }
 
 void
@@ -27,15 +48,10 @@ SnnStdpTrainer::train(SnnNetwork &net, const datasets::Dataset &data,
                  data.inputSize(), net.config().numInputs);
 
     NEURO_PROFILE_SCOPE("snn/train");
-    Rng rng(config.seed);
+    Rng rng(config.seed); // presentation order only; see SnnTrainConfig.
     const std::size_t n = data.size();
     std::vector<uint32_t> order(n);
     rng.shuffle(order.data(), n);
-
-    // Scratch grid reused across samples and epochs: encodeInto
-    // clears the per-tick buffers without releasing them, so the
-    // per-sample heap allocations disappear after warm-up.
-    SpikeTrainGrid grid;
 
     for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
         NEURO_PROFILE_SCOPE("snn/train/epoch");
@@ -44,11 +60,10 @@ SnnStdpTrainer::train(SnnNetwork &net, const datasets::Dataset &data,
         SnnEpochReport report;
         report.epoch = epoch;
         for (std::size_t step = 0; step < n; ++step) {
-            const auto &sample = data[order[step]];
-            encoder_.encodeInto(sample.pixels.data(),
-                                sample.pixels.size(), rng, grid);
+            const std::size_t idx = order[step];
+            const auto grid = gridFor(data, idx, config.seed);
             const PresentationResult r =
-                net.presentImage(grid, /*learn=*/true);
+                net.present(*grid, /*learn=*/true);
             report.outputSpikes += r.outputSpikeCount;
             if (r.outputSpikeCount == 0)
                 ++report.silentImages;
@@ -101,15 +116,16 @@ SnnStdpTrainer::winnersFor(SnnNetwork &net, const datasets::Dataset &data,
         fired->assign(n, 0);
 
     // One task per shard: a worker-local copy of the frozen network
-    // (presentations scribble on neuron dynamics), per-worker scratch
-    // buffers, and one Rng per sample derived from (seed, i) via
-    // SplitMix64 — spike encodings no longer depend on iteration
-    // order, so any thread count produces the same winners.
+    // (presentations scribble on neuron dynamics), and one encoding
+    // per sample keyed by (seed, i) via SplitMix64 — spike encodings
+    // do not depend on iteration order, so any thread count produces
+    // the same winners. Encodings are served from the grid cache
+    // (thread-safe), so a second pass over the same data re-presents
+    // without re-encoding.
     parallelForRange(0, n, evalGrain(n), [&](std::size_t i0,
                                              std::size_t i1) {
         NEURO_PROFILE_SCOPE("snn/eval/shard");
         SnnNetwork local(net);
-        SpikeTrainGrid grid;
         std::vector<uint8_t> counts;
         for (std::size_t i = i0; i < i1; ++i) {
             const auto &sample = data[i];
@@ -123,11 +139,9 @@ SnnStdpTrainer::winnersFor(SnnNetwork &net, const datasets::Dataset &data,
                     (*fired)[i] = 1;
                 continue;
             }
-            Rng rng(deriveStreamSeed(seed, i));
-            encoder_.encodeInto(sample.pixels.data(),
-                                sample.pixels.size(), rng, grid);
+            const auto grid = gridFor(data, i, seed);
             const PresentationResult r =
-                local.presentImage(grid, /*learn=*/false);
+                local.present(*grid, /*learn=*/false);
             winners[i] = r.winner(Readout::FirstSpike);
             if (fired)
                 (*fired)[i] = r.firstSpikeNeuron >= 0;

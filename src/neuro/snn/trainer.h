@@ -14,6 +14,7 @@
 
 #include "neuro/common/stats.h"
 #include "neuro/datasets/dataset.h"
+#include "neuro/snn/grid_cache.h"
 #include "neuro/snn/network.h"
 
 namespace neuro {
@@ -30,7 +31,11 @@ enum class EvalMode
 struct SnnTrainConfig
 {
     std::size_t epochs = 1; ///< passes over the training set.
-    uint64_t seed = 11;     ///< spike-generation / shuffling seed.
+    /** Spike-generation / shuffling seed. Each sample's encoding uses
+     *  its own stream, deriveStreamSeed(seed, sampleIndex), so the
+     *  encoding is frozen across epochs (and cacheable); only the
+     *  presentation order reshuffles. */
+    uint64_t seed = 11;
     bool shuffle = true;    ///< reshuffle presentation order per epoch.
 };
 
@@ -57,8 +62,13 @@ struct SnnEvalResult
 class SnnStdpTrainer
 {
   public:
-    /** The encoder is derived from the network's coding config. */
-    explicit SnnStdpTrainer(const SnnConfig &config);
+    /**
+     * The encoder is derived from the network's coding config.
+     * @param cache_budget_bytes byte budget of the encoded-grid cache.
+     */
+    explicit SnnStdpTrainer(
+        const SnnConfig &config,
+        std::size_t cache_budget_bytes = GridCache::kDefaultBudgetBytes);
 
     /**
      * Attach a statistics sink (gem5-style): training then records
@@ -98,6 +108,18 @@ class SnnStdpTrainer
     /** @return the encoder (for tests and traces). */
     const SpikeEncoder &encoder() const { return encoder_; }
 
+    /** @return the encoded-grid cache (stats, tests). */
+    const GridCache &gridCache() const { return gridCache_; }
+
+    /**
+     * The cached encoding of sample @p index of @p data under @p seed:
+     * served from the grid cache when resident, encoded (and inserted)
+     * otherwise. Thread-safe; all presentation paths go through here.
+     */
+    std::shared_ptr<const PackedSpikeGrid>
+    gridFor(const datasets::Dataset &data, std::size_t index,
+            uint64_t seed) const;
+
   private:
     /** Winners (and fired flags) for every sample of @p data. */
     std::vector<int> winnersFor(SnnNetwork &net,
@@ -106,6 +128,8 @@ class SnnStdpTrainer
                                 std::vector<uint8_t> *fired) const;
 
     SpikeEncoder encoder_;
+    uint64_t codingHash_ = 0;
+    mutable GridCache gridCache_;
     StatRegistry *stats_ = nullptr;
 };
 

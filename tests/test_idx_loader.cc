@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "neuro/datasets/idx_loader.h"
 
@@ -53,7 +56,10 @@ class IdxFixture : public ::testing::Test
     void
     SetUp() override
     {
-        dir_ = "/tmp/neuro_idx_test";
+        // Unique per process: ctest runs each case as its own process,
+        // possibly in parallel, and TearDown removes the directory.
+        dir_ = "/tmp/neuro_idx_test." +
+               std::to_string(static_cast<long>(::getpid()));
         std::filesystem::create_directories(dir_);
         writeImages(dir_ + "/train-images-idx3-ubyte", 12, 4, 4, 10);
         writeLabels(dir_ + "/train-labels-idx1-ubyte", 12, 10);

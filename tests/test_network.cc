@@ -79,7 +79,7 @@ TEST(SnnNetwork, WtaResetZeroesPeers)
     net.presentImage(grid, false);
     // After the presentation, losers' potentials were reset at the
     // firing tick; they only hold what arrived afterwards.
-    EXPECT_LT(net.neurons()[1].potential, 150.0);
+    EXPECT_LT(net.potentials()[1], 150.0);
 }
 
 TEST(SnnNetwork, RefractoryNeuronIgnoresInput)
@@ -106,9 +106,9 @@ TEST(SnnNetwork, LeakReducesPotentialBetweenSpikes)
     const auto near_grid = gridWithSpikes(100, {{0, 0}, {1, 1}});
     const auto far_grid = gridWithSpikes(100, {{0, 0}, {99, 1}});
     net.presentImage(near_grid, false);
-    const double near_pot = net.neurons()[0].potential;
+    const double near_pot = net.potentials()[0];
     net.presentImage(far_grid, false);
-    const double far_pot = net.neurons()[0].potential;
+    const double far_pot = net.potentials()[0];
     // Potentials are both decayed to the window end; the early pair has
     // decayed longer, so with equal total drive the end potential is
     // *smaller* for the near pair... Check the opposite: sample right
@@ -155,9 +155,9 @@ TEST(SnnNetwork, ThresholdJitterSpreadsThresholds)
     config.thresholdJitter = 0.1;
     SnnNetwork net(config, rng);
     double lo = 1e18, hi = 0;
-    for (const auto &n : net.neurons()) {
-        lo = std::min(lo, n.threshold);
-        hi = std::max(hi, n.threshold);
+    for (double threshold : net.thresholds()) {
+        lo = std::min(lo, threshold);
+        hi = std::max(hi, threshold);
     }
     EXPECT_GT(hi - lo, 1.0);
     EXPECT_NEAR(lo, config.initialThreshold, config.initialThreshold * 0.06);

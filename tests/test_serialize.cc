@@ -131,8 +131,8 @@ TEST(SnnSerialize, RoundTripPreservesForwardCounts)
     // Thresholds restored too.
     for (std::size_t n = 0; n < 6; ++n) {
         EXPECT_FLOAT_EQ(
-            static_cast<float>(net.neurons()[n].threshold),
-            static_cast<float>(restored->network.neurons()[n].threshold));
+            static_cast<float>(net.thresholds()[n]),
+            static_cast<float>(restored->network.thresholds()[n]));
     }
 }
 

@@ -1,0 +1,215 @@
+// Dense-vs-event engine equivalence: the event-driven sparse engine
+// must be bit-identical to the reference dense tick walk — same
+// winners, same potentials, same learned weights — at any thread
+// count. Also covers the trainer's grid-cache routing.
+
+#include <gtest/gtest.h>
+
+#include "neuro/common/parallel.h"
+#include "neuro/common/rng.h"
+#include "neuro/snn/spike_bits.h"
+#include "neuro/snn/trainer.h"
+
+namespace neuro {
+namespace snn {
+namespace {
+
+/** Two-class task (same construction as test_trainer). */
+datasets::Dataset
+makeHalves(std::size_t count, uint64_t seed)
+{
+    datasets::Dataset data("halves", 8, 8, 2);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+        datasets::Sample s;
+        s.label = static_cast<int>(i % 2);
+        s.pixels.assign(64, 0);
+        for (std::size_t y = 0; y < 8; ++y) {
+            const bool bright = (s.label == 0) ? (y < 4) : (y >= 4);
+            for (std::size_t x = 0; x < 8; ++x) {
+                s.pixels[y * 8 + x] = bright
+                    ? static_cast<uint8_t>(200 + rng.uniformInt(56))
+                    : static_cast<uint8_t>(rng.uniformInt(25));
+            }
+        }
+        data.add(std::move(s));
+    }
+    return data;
+}
+
+SnnConfig
+engineConfig(SnnEngine engine)
+{
+    SnnConfig config;
+    config.engine = engine;
+    config.numInputs = 64;
+    config.numNeurons = 8;
+    config.coding.periodMs = 200;
+    config.coding.minIntervalMs = 20;
+    config.tLeakMs = 200.0;
+    config.initialThreshold = 0.5 * 32.0 * 8.0 * 127.0;
+    config.stdp.ltpIncrement = 12.0f;
+    config.stdp.ltdDecrement = 3.0f;
+    config.homeostasis.epochMs = 20 * 200;
+    config.homeostasis.activityTarget = 5.0;
+    config.homeostasis.rate = 0.08;
+    config.homeostasis.minThreshold = config.initialThreshold * 0.25;
+    return config;
+}
+
+/** Compare two presentation results field by field, exactly. */
+void
+expectIdenticalResults(const PresentationResult &a,
+                       const PresentationResult &b, std::size_t i)
+{
+    EXPECT_EQ(a.firstSpikeNeuron, b.firstSpikeNeuron) << "sample " << i;
+    EXPECT_EQ(a.firstSpikeTimeMs, b.firstSpikeTimeMs) << "sample " << i;
+    EXPECT_EQ(a.maxPotentialNeuron, b.maxPotentialNeuron) << "sample " << i;
+    EXPECT_EQ(a.inputSpikeCount, b.inputSpikeCount) << "sample " << i;
+    EXPECT_EQ(a.outputSpikeCount, b.outputSpikeCount) << "sample " << i;
+    EXPECT_EQ(a.spikeCountPerNeuron, b.spikeCountPerNeuron)
+        << "sample " << i;
+}
+
+TEST(SnnEngine, PresentationsBitIdenticalAcrossEngines)
+{
+    const datasets::Dataset data = makeHalves(64, 7);
+    const SnnConfig dense_cfg = engineConfig(SnnEngine::Dense);
+    const SnnConfig event_cfg = engineConfig(SnnEngine::Event);
+    const SpikeEncoder encoder(dense_cfg.coding);
+
+    Rng dense_init(9);
+    SnnNetwork dense_net(dense_cfg, dense_init);
+    Rng event_init(9);
+    SnnNetwork event_net(event_cfg, event_init);
+
+    PackedSpikeGrid grid;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        Rng rng(deriveStreamSeed(21, i));
+        encoder.encodePacked(data[i].pixels.data(), data[i].pixels.size(),
+                             rng, grid);
+        // learn=true: STDP + homeostasis must also evolve identically.
+        const auto dense_r = dense_net.present(grid, /*learn=*/true);
+        const auto event_r = event_net.present(grid, /*learn=*/true);
+        expectIdenticalResults(dense_r, event_r, i);
+    }
+
+    // After 64 learned presentations the full state agrees exactly.
+    EXPECT_EQ(dense_net.weights().data(), event_net.weights().data());
+    EXPECT_EQ(dense_net.thresholds(), event_net.thresholds());
+    EXPECT_EQ(dense_net.potentials(), event_net.potentials());
+}
+
+TEST(SnnEngine, EventPresentEqualsDensePresentImage)
+{
+    // present() with the Event engine vs the original presentImage()
+    // on the expanded grid: the public API contract.
+    const datasets::Dataset data = makeHalves(16, 3);
+    const SnnConfig config = engineConfig(SnnEngine::Event);
+    const SpikeEncoder encoder(config.coding);
+
+    Rng init(4);
+    SnnNetwork event_net(config, init);
+    SnnNetwork dense_net(event_net); // identical copy.
+
+    PackedSpikeGrid packed;
+    SpikeTrainGrid dense;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        Rng rng(deriveStreamSeed(5, i));
+        encoder.encodePacked(data[i].pixels.data(), data[i].pixels.size(),
+                             rng, packed);
+        packed.toDense(dense);
+        const auto event_r = event_net.present(packed, /*learn=*/false);
+        const auto dense_r = dense_net.presentImage(dense, /*learn=*/false);
+        expectIdenticalResults(dense_r, event_r, i);
+    }
+}
+
+/** Winners of a full label+evaluate pass under the given engine. */
+SnnEvalResult
+evalWithEngine(SnnEngine engine, const datasets::Dataset &train_set,
+               const datasets::Dataset &test_set,
+               std::vector<int> *labels_out)
+{
+    const SnnConfig config = engineConfig(engine);
+    Rng rng(2);
+    SnnNetwork net(config, rng);
+    SnnStdpTrainer trainer(config);
+    SnnTrainConfig train;
+    train.epochs = 2;
+    trainer.train(net, train_set, train);
+    const auto labels = trainer.labelNeurons(net, train_set, EvalMode::Wt,
+                                             201);
+    if (labels_out)
+        *labels_out = labels;
+    return trainer.evaluate(net, labels, test_set, EvalMode::Wt, 202);
+}
+
+TEST(SnnEngine, FullPipelineBitIdenticalAcrossEnginesAndThreads)
+{
+    const datasets::Dataset train_set = makeHalves(64, 11);
+    const datasets::Dataset test_set = makeHalves(32, 12);
+
+    const std::size_t saved = parallelThreadCount();
+    std::vector<int> ref_labels;
+    setParallelThreadCount(1);
+    const SnnEvalResult reference =
+        evalWithEngine(SnnEngine::Dense, train_set, test_set, &ref_labels);
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        setParallelThreadCount(threads);
+        std::vector<int> labels;
+        const SnnEvalResult result =
+            evalWithEngine(SnnEngine::Event, train_set, test_set, &labels);
+        EXPECT_EQ(labels, ref_labels) << "threads=" << threads;
+        EXPECT_DOUBLE_EQ(result.accuracy, reference.accuracy)
+            << "threads=" << threads;
+        EXPECT_EQ(result.silent, reference.silent) << "threads=" << threads;
+    }
+    setParallelThreadCount(saved);
+}
+
+TEST(SnnEngine, TrainerServesSecondPassFromGridCache)
+{
+    const datasets::Dataset data = makeHalves(48, 13);
+    const SnnConfig config = engineConfig(SnnEngine::Event);
+    Rng rng(2);
+    SnnNetwork net(config, rng);
+    SnnStdpTrainer trainer(config);
+
+    SnnTrainConfig train;
+    train.epochs = 2;
+    trainer.train(net, data, train);
+
+    // Epoch 1 misses (and fills) the cache; epoch 2 must be served
+    // from it entirely: hit rate >= 50% over the two epochs.
+    const GridCacheStats after_train = trainer.gridCache().stats();
+    EXPECT_EQ(after_train.misses, data.size());
+    EXPECT_EQ(after_train.hits, data.size());
+    EXPECT_EQ(after_train.entries, data.size());
+
+    // Labeling uses a different seed: new keys, all misses...
+    const auto labels = trainer.labelNeurons(net, data, EvalMode::Wt, 77);
+    const GridCacheStats after_label = trainer.gridCache().stats();
+    EXPECT_EQ(after_label.misses, 2 * data.size());
+
+    // ...and evaluating the same data under the same seed hits 100%.
+    trainer.evaluate(net, labels, data, EvalMode::Wt, 77);
+    const GridCacheStats after_eval = trainer.gridCache().stats();
+    EXPECT_EQ(after_eval.misses, after_label.misses)
+        << "second pass must not re-encode";
+    EXPECT_EQ(after_eval.hits, after_label.hits + data.size());
+}
+
+TEST(SnnEngine, DefaultEngineHonorsEnvironment)
+{
+    // The suite runs with or without NEURO_SNN_ENGINE=dense (CI runs
+    // both); just pin the name mapping and the config default.
+    EXPECT_STREQ(snnEngineName(SnnEngine::Dense), "dense");
+    EXPECT_STREQ(snnEngineName(SnnEngine::Event), "event");
+    EXPECT_EQ(SnnConfig{}.engine, defaultSnnEngine());
+}
+
+} // namespace
+} // namespace snn
+} // namespace neuro

@@ -241,7 +241,11 @@ TEST_F(TraceTest, SnnTrainingEmitsValidPairedChromeTrace)
     // The instrumented layers all show up.
     EXPECT_GT(balance.count("snn/train"), 0u);
     EXPECT_GT(balance.count("snn/train/epoch"), 0u);
-    EXPECT_GT(balance.count("snn/present"), 0u);
+    // Presentations run under the engine's scope: "snn/present" for
+    // the dense walk, "snn/present_events" for the event engine.
+    EXPECT_GT(balance.count("snn/present") +
+                  balance.count("snn/present_events"),
+              0u);
     EXPECT_GT(counters, 0u);
     bool sawSpikeCounter = false;
     for (const TraceEvent &ev : events) {
