@@ -1,0 +1,36 @@
+# Unified sanitizer presets: one cache option replaces the hand-rolled
+# -fsanitize flag strings that used to live in CI.
+#
+#   -DNEURO_SAN=off    (default) no instrumentation
+#   -DNEURO_SAN=asan   AddressSanitizer + UBSan, no recovery
+#   -DNEURO_SAN=ubsan  UBSan only, no recovery
+#   -DNEURO_SAN=tsan   ThreadSanitizer, no recovery
+#
+# The flags apply to every target in the tree (src, tests, bench,
+# tools, examples) so a sanitizer build never mixes instrumented and
+# uninstrumented objects. CMakePresets.json exposes one preset per
+# mode; see docs/static_analysis.md.
+
+set(NEURO_SAN "off" CACHE STRING
+    "Sanitizer preset: off, asan (address+undefined), ubsan, tsan")
+set_property(CACHE NEURO_SAN PROPERTY STRINGS off asan ubsan tsan)
+
+if(NEURO_SAN STREQUAL "off")
+    set(_neuro_san_flags "")
+elseif(NEURO_SAN STREQUAL "asan")
+    set(_neuro_san_flags -fsanitize=address,undefined
+                         -fno-sanitize-recover=all)
+elseif(NEURO_SAN STREQUAL "ubsan")
+    set(_neuro_san_flags -fsanitize=undefined -fno-sanitize-recover=all)
+elseif(NEURO_SAN STREQUAL "tsan")
+    set(_neuro_san_flags -fsanitize=thread -fno-sanitize-recover=all)
+else()
+    message(FATAL_ERROR
+            "NEURO_SAN=${NEURO_SAN} is not one of: off, asan, ubsan, tsan")
+endif()
+
+if(_neuro_san_flags)
+    add_compile_options(${_neuro_san_flags})
+    add_link_options(${_neuro_san_flags})
+    message(STATUS "Sanitizers: NEURO_SAN=${NEURO_SAN}")
+endif()

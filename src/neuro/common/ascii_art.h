@@ -5,8 +5,7 @@
  * learned STDP receptive fields and dataset samples.
  */
 
-#ifndef NEURO_COMMON_ASCII_ART_H
-#define NEURO_COMMON_ASCII_ART_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -34,4 +33,3 @@ std::string renderAsciiRow(const float *const *images,
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_ASCII_ART_H

@@ -7,8 +7,7 @@
  * (`NEURO_<KEY>` variables).
  */
 
-#ifndef NEURO_COMMON_CONFIG_H
-#define NEURO_COMMON_CONFIG_H
+#pragma once
 
 #include <map>
 #include <string>
@@ -73,4 +72,3 @@ std::size_t scaled(std::size_t n, std::size_t minimum = 1);
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_CONFIG_H

@@ -5,8 +5,7 @@
  * with any plotting tool.
  */
 
-#ifndef NEURO_COMMON_CSV_H
-#define NEURO_COMMON_CSV_H
+#pragma once
 
 #include <fstream>
 #include <string>
@@ -37,4 +36,3 @@ class CsvWriter
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_CSV_H

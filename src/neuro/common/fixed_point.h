@@ -6,8 +6,7 @@
  * spikes) for SNNwot; accumulators are wider, as in the RTL.
  */
 
-#ifndef NEURO_COMMON_FIXED_POINT_H
-#define NEURO_COMMON_FIXED_POINT_H
+#pragma once
 
 #include <algorithm>
 #include <cmath>
@@ -124,4 +123,3 @@ using Accum24 = FixedPoint<24, 6>;
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_FIXED_POINT_H

@@ -10,8 +10,7 @@
  * - inform(): plain status output.
  */
 
-#ifndef NEURO_COMMON_LOGGING_H
-#define NEURO_COMMON_LOGGING_H
+#pragma once
 
 #include <cstdarg>
 #include <string>
@@ -68,4 +67,3 @@ void assertContext(const char *cond, const char *file, int line);
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_LOGGING_H

@@ -5,8 +5,7 @@
  * implementations need (gemv, outer-product update, fills).
  */
 
-#ifndef NEURO_COMMON_MATRIX_H
-#define NEURO_COMMON_MATRIX_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -89,4 +88,3 @@ class Matrix
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_MATRIX_H

@@ -33,8 +33,7 @@
  * the pool, and running nested work inline cannot deadlock.
  */
 
-#ifndef NEURO_COMMON_PARALLEL_H
-#define NEURO_COMMON_PARALLEL_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -167,4 +166,3 @@ void parallelInvoke(std::vector<std::function<void()>> tasks);
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_PARALLEL_H

@@ -4,8 +4,7 @@
  * receptive fields can be exported as real image files.
  */
 
-#ifndef NEURO_COMMON_PGM_H
-#define NEURO_COMMON_PGM_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -22,4 +21,3 @@ bool writePgmNormalized(const std::string &path, const float *data,
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_PGM_H

@@ -15,6 +15,9 @@ void
 observabilityAtExit()
 {
     if (Profiler::enabled())
+        // The process is exiting: logging may already be torn down,
+        // and stderr is the documented sink for NEURO_STATS_DUMP.
+        // neurolint: allow(R3)
         Profiler::instance().dump(std::cerr);
     Tracer::instance().stop();
 }

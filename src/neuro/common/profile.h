@@ -26,8 +26,7 @@
  * any binary linking neuro_common with no code changes.
  */
 
-#ifndef NEURO_COMMON_PROFILE_H
-#define NEURO_COMMON_PROFILE_H
+#pragma once
 
 #include <atomic>
 #include <chrono>
@@ -175,4 +174,3 @@ void initObservability(const Config &cfg);
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_PROFILE_H

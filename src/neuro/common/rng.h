@@ -16,8 +16,7 @@
  *    to produce spike inter-arrival times.
  */
 
-#ifndef NEURO_COMMON_RNG_H
-#define NEURO_COMMON_RNG_H
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -133,4 +132,3 @@ class GaussianClt
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_RNG_H

@@ -10,8 +10,7 @@
  * payload.
  */
 
-#ifndef NEURO_COMMON_SERIALIZE_H
-#define NEURO_COMMON_SERIALIZE_H
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -65,4 +64,3 @@ class Archive
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_SERIALIZE_H

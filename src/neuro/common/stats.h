@@ -5,8 +5,7 @@
  * collected into a registry that can be dumped at end of run.
  */
 
-#ifndef NEURO_COMMON_STATS_H
-#define NEURO_COMMON_STATS_H
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -85,4 +84,3 @@ class StatRegistry
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_STATS_H

@@ -4,8 +4,7 @@
  * (aligned columns, optional title and footnotes).
  */
 
-#ifndef NEURO_COMMON_TABLE_H
-#define NEURO_COMMON_TABLE_H
+#pragma once
 
 #include <initializer_list>
 #include <ostream>
@@ -55,4 +54,3 @@ class TextTable
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_TABLE_H

@@ -23,8 +23,7 @@
  * timestamp order.
  */
 
-#ifndef NEURO_COMMON_TRACE_H
-#define NEURO_COMMON_TRACE_H
+#pragma once
 
 #include <atomic>
 #include <chrono>
@@ -93,4 +92,3 @@ class Tracer
 
 } // namespace neuro
 
-#endif // NEURO_COMMON_TRACE_H

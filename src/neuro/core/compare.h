@@ -6,8 +6,7 @@
  * areas), and area/energy ratio helpers for the Section 4.5 validation.
  */
 
-#ifndef NEURO_CORE_COMPARE_H
-#define NEURO_CORE_COMPARE_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -73,4 +72,3 @@ foldedCostRatios(const hw::MlpTopology &mlp_topo,
 } // namespace core
 } // namespace neuro
 
-#endif // NEURO_CORE_COMPARE_H

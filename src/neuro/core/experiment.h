@@ -6,8 +6,7 @@
  * configurations (Table 1), and the Table 3 accuracy comparison runner.
  */
 
-#ifndef NEURO_CORE_EXPERIMENT_H
-#define NEURO_CORE_EXPERIMENT_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -94,4 +93,3 @@ AccuracyResults runAccuracyComparison(const Workload &workload,
 } // namespace core
 } // namespace neuro
 
-#endif // NEURO_CORE_EXPERIMENT_H

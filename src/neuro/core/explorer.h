@@ -6,8 +6,7 @@
  * hyper-parameter search over SNN settings.
  */
 
-#ifndef NEURO_CORE_EXPLORER_H
-#define NEURO_CORE_EXPLORER_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -77,4 +76,3 @@ std::vector<SnnTrial> exploreSnnHyperparameters(const Workload &workload,
 } // namespace core
 } // namespace neuro
 
-#endif // NEURO_CORE_EXPLORER_H

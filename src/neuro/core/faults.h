@@ -7,8 +7,7 @@
  * module quantifies it for the two datapaths compared here.
  */
 
-#ifndef NEURO_CORE_FAULTS_H
-#define NEURO_CORE_FAULTS_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -64,4 +63,3 @@ snnFaultSweep(const snn::SnnNetwork &net, const std::vector<int> &labels,
 } // namespace core
 } // namespace neuro
 
-#endif // NEURO_CORE_FAULTS_H

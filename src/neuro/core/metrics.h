@@ -5,8 +5,7 @@
  * predictor function, shared by examples and benches.
  */
 
-#ifndef NEURO_CORE_METRICS_H
-#define NEURO_CORE_METRICS_H
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -70,4 +69,3 @@ ConfusionMatrix evaluateConfusion(const datasets::Dataset &data,
 } // namespace core
 } // namespace neuro
 
-#endif // NEURO_CORE_METRICS_H

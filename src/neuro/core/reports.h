@@ -5,8 +5,7 @@
  * report helpers shared by the bench binaries.
  */
 
-#ifndef NEURO_CORE_REPORTS_H
-#define NEURO_CORE_REPORTS_H
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -151,4 +150,3 @@ std::string vsPaper(double measured, double published, int precision = 2);
 } // namespace core
 } // namespace neuro
 
-#endif // NEURO_CORE_REPORTS_H

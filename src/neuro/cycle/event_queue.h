@@ -6,8 +6,7 @@
  * timed models.
  */
 
-#ifndef NEURO_CYCLE_EVENT_QUEUE_H
-#define NEURO_CYCLE_EVENT_QUEUE_H
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -71,4 +70,3 @@ class EventQueue
 } // namespace cycle
 } // namespace neuro
 
-#endif // NEURO_CYCLE_EVENT_QUEUE_H

@@ -8,8 +8,7 @@
  * with spike count, not with the presentation window.
  */
 
-#ifndef NEURO_CYCLE_EVENT_SIM_H
-#define NEURO_CYCLE_EVENT_SIM_H
+#pragma once
 
 #include <cstdint>
 
@@ -39,4 +38,3 @@ EventSimResult presentViaEventQueue(snn::SnnNetwork &net,
 } // namespace cycle
 } // namespace neuro
 
-#endif // NEURO_CYCLE_EVENT_SIM_H

@@ -9,8 +9,7 @@
  * analytic cycle formula and the hw::Design activity model.
  */
 
-#ifndef NEURO_CYCLE_FOLDED_MLP_SIM_H
-#define NEURO_CYCLE_FOLDED_MLP_SIM_H
+#pragma once
 
 #include <cstdint>
 
@@ -43,4 +42,3 @@ ScheduleStats simulateFoldedMlp(const hw::MlpTopology &topo,
 } // namespace cycle
 } // namespace neuro
 
-#endif // NEURO_CYCLE_FOLDED_MLP_SIM_H

@@ -13,8 +13,7 @@
  * encoded spike train.
  */
 
-#ifndef NEURO_CYCLE_FOLDED_SNN_SIM_H
-#define NEURO_CYCLE_FOLDED_SNN_SIM_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -46,4 +45,3 @@ simulateFoldedSnnWt(const hw::SnnTopology &topo, std::size_t ni,
 } // namespace cycle
 } // namespace neuro
 
-#endif // NEURO_CYCLE_FOLDED_SNN_SIM_H

@@ -7,8 +7,7 @@
  * multi-cycle stages.
  */
 
-#ifndef NEURO_CYCLE_PIPELINE_H
-#define NEURO_CYCLE_PIPELINE_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -59,4 +58,3 @@ class StaggeredPipeline
 } // namespace cycle
 } // namespace neuro
 
-#endif // NEURO_CYCLE_PIPELINE_H

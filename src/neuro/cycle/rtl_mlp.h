@@ -14,8 +14,7 @@
  * while also producing toggle-level activity for the energy model.
  */
 
-#ifndef NEURO_CYCLE_RTL_MLP_H
-#define NEURO_CYCLE_RTL_MLP_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -77,4 +76,3 @@ class RtlFoldedMlp
 } // namespace cycle
 } // namespace neuro
 
-#endif // NEURO_CYCLE_RTL_MLP_H

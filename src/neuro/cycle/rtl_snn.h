@@ -8,8 +8,7 @@
  * with toggle-level activity for the energy model.
  */
 
-#ifndef NEURO_CYCLE_RTL_SNN_H
-#define NEURO_CYCLE_RTL_SNN_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -59,4 +58,3 @@ class RtlFoldedSnnWot
 } // namespace cycle
 } // namespace neuro
 
-#endif // NEURO_CYCLE_RTL_SNN_H

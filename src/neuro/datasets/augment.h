@@ -8,8 +8,7 @@
  * including real MNIST loaded from IDX files.
  */
 
-#ifndef NEURO_DATASETS_AUGMENT_H
-#define NEURO_DATASETS_AUGMENT_H
+#pragma once
 
 #include <cstdint>
 
@@ -53,4 +52,3 @@ Dataset augment(const Dataset &data, std::size_t copies_per_sample,
 } // namespace datasets
 } // namespace neuro
 
-#endif // NEURO_DATASETS_AUGMENT_H

@@ -6,8 +6,7 @@
  * luminance)"), with float accessors normalizing to [0, 1].
  */
 
-#ifndef NEURO_DATASETS_DATASET_H
-#define NEURO_DATASETS_DATASET_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -90,4 +89,3 @@ struct Split
 } // namespace datasets
 } // namespace neuro
 
-#endif // NEURO_DATASETS_DATASET_H

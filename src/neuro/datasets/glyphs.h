@@ -6,8 +6,7 @@
  * with stroke-thickness and noise jitter, producing MNIST-like variation.
  */
 
-#ifndef NEURO_DATASETS_GLYPHS_H
-#define NEURO_DATASETS_GLYPHS_H
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -78,4 +77,3 @@ renderSdf(const std::function<float(float, float)> &sdf, std::size_t width,
 } // namespace datasets
 } // namespace neuro
 
-#endif // NEURO_DATASETS_GLYPHS_H

@@ -6,8 +6,7 @@
  * synthetic generator when the files are absent.
  */
 
-#ifndef NEURO_DATASETS_IDX_LOADER_H
-#define NEURO_DATASETS_IDX_LOADER_H
+#pragma once
 
 #include <string>
 
@@ -29,4 +28,3 @@ bool loadMnistIdx(const std::string &dir, std::size_t train_size,
 } // namespace datasets
 } // namespace neuro
 
-#endif // NEURO_DATASETS_IDX_LOADER_H

@@ -7,8 +7,7 @@
  * the paper's network geometry (MLP 28x28-15-10, SNN 28x28-90).
  */
 
-#ifndef NEURO_DATASETS_SHAPES_H
-#define NEURO_DATASETS_SHAPES_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -41,4 +40,3 @@ Split makeShapes(const ShapesOptions &options);
 } // namespace datasets
 } // namespace neuro
 
-#endif // NEURO_DATASETS_SHAPES_H

@@ -13,8 +13,7 @@
  * SNN/MLP gap" behaviour.
  */
 
-#ifndef NEURO_DATASETS_SPOKEN_DIGITS_H
-#define NEURO_DATASETS_SPOKEN_DIGITS_H
+#pragma once
 
 #include <cstdint>
 
@@ -43,4 +42,3 @@ Split makeSpokenDigits(const SpokenDigitsOptions &options);
 } // namespace datasets
 } // namespace neuro
 
-#endif // NEURO_DATASETS_SPOKEN_DIGITS_H

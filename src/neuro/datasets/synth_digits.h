@@ -11,8 +11,7 @@
  * prefer it via mnistLike().
  */
 
-#ifndef NEURO_DATASETS_SYNTH_DIGITS_H
-#define NEURO_DATASETS_SYNTH_DIGITS_H
+#pragma once
 
 #include <cstdint>
 
@@ -52,4 +51,3 @@ Split mnistLike(std::size_t train_size, std::size_t test_size,
 } // namespace datasets
 } // namespace neuro
 
-#endif // NEURO_DATASETS_SYNTH_DIGITS_H

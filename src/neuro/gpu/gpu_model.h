@@ -11,8 +11,7 @@
  * paper's speedups put them (~55-80 us/image for all three networks).
  */
 
-#ifndef NEURO_GPU_GPU_MODEL_H
-#define NEURO_GPU_GPU_MODEL_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -68,4 +67,3 @@ GpuWorkload snnWtWorkload(std::size_t inputs, std::size_t neurons,
 } // namespace gpu
 } // namespace neuro
 
-#endif // NEURO_GPU_GPU_MODEL_H

@@ -7,8 +7,7 @@
  * delay, per-image energy, and power (Table 5).
  */
 
-#ifndef NEURO_HW_DESIGN_H
-#define NEURO_HW_DESIGN_H
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -98,4 +97,3 @@ class Design
 } // namespace hw
 } // namespace neuro
 
-#endif // NEURO_HW_DESIGN_H

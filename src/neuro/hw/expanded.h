@@ -8,8 +8,7 @@
  * composition rules.
  */
 
-#ifndef NEURO_HW_EXPANDED_H
-#define NEURO_HW_EXPANDED_H
+#pragma once
 
 #include <cstdint>
 
@@ -75,4 +74,3 @@ Design buildExpandedSnnWt(const SnnTopology &topo, int period_cycles = 500,
 } // namespace hw
 } // namespace neuro
 
-#endif // NEURO_HW_EXPANDED_H

@@ -6,8 +6,7 @@
  * (SRAM), Table 7 (area/delay/energy/cycles vs ni) and Figure 9/10/11.
  */
 
-#ifndef NEURO_HW_FOLDED_H
-#define NEURO_HW_FOLDED_H
+#pragma once
 
 #include "neuro/hw/design.h"
 #include "neuro/hw/expanded.h"
@@ -67,4 +66,3 @@ Design buildFoldedSnnWt(const SnnTopology &topo, std::size_t ni,
 } // namespace hw
 } // namespace neuro
 
-#endif // NEURO_HW_FOLDED_H

@@ -8,8 +8,7 @@
  * sigmoid units, LIF extras, STDP logic).
  */
 
-#ifndef NEURO_HW_OPERATORS_H
-#define NEURO_HW_OPERATORS_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -97,4 +96,3 @@ OperatorSpec makeStdpPerInput(const TechParams &tech, std::size_t inputs);
 } // namespace hw
 } // namespace neuro
 
-#endif // NEURO_HW_OPERATORS_H

@@ -7,8 +7,7 @@
  * actually selects from.
  */
 
-#ifndef NEURO_HW_PARETO_H
-#define NEURO_HW_PARETO_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -57,4 +56,3 @@ paretoFrontier(const std::vector<DesignPoint> &points);
 } // namespace hw
 } // namespace neuro
 
-#endif // NEURO_HW_PARETO_H

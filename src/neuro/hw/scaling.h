@@ -11,8 +11,7 @@
  * silicon.
  */
 
-#ifndef NEURO_HW_SCALING_H
-#define NEURO_HW_SCALING_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -80,4 +79,3 @@ int expandedCrossoverIndex(const std::vector<ScaleComparison> &results);
 } // namespace hw
 } // namespace neuro
 
-#endif // NEURO_HW_SCALING_H

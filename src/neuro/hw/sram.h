@@ -9,8 +9,7 @@
  * characterizations.
  */
 
-#ifndef NEURO_HW_SRAM_H
-#define NEURO_HW_SRAM_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -86,4 +85,3 @@ SramArray makeSynapticStorage(const std::string &name,
 } // namespace hw
 } // namespace neuro
 
-#endif // NEURO_HW_SRAM_H

@@ -9,8 +9,7 @@
  * the resulting overhead vs the inference-only SNNwt.
  */
 
-#ifndef NEURO_HW_STDP_HW_H
-#define NEURO_HW_STDP_HW_H
+#pragma once
 
 #include "neuro/hw/folded.h"
 
@@ -47,4 +46,3 @@ StdpOverhead stdpOverhead(const SnnTopology &topo, std::size_t ni,
 } // namespace hw
 } // namespace neuro
 
-#endif // NEURO_HW_STDP_HW_H

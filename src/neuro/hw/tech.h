@@ -15,8 +15,7 @@
  * derived from first principles, never hardcoded.
  */
 
-#ifndef NEURO_HW_TECH_H
-#define NEURO_HW_TECH_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -151,4 +150,3 @@ int log2Ceil(std::size_t n);
 } // namespace hw
 } // namespace neuro
 
-#endif // NEURO_HW_TECH_H

@@ -14,8 +14,7 @@
  * of that constraint.
  */
 
-#ifndef NEURO_HW_TRUENORTH_H
-#define NEURO_HW_TRUENORTH_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -107,4 +106,3 @@ class TrueNorthFunctional
 } // namespace hw
 } // namespace neuro
 
-#endif // NEURO_HW_TRUENORTH_H

@@ -8,8 +8,7 @@
  * hardware implements (Section 4.2.1: f(x) = a_i*x + b_i per segment).
  */
 
-#ifndef NEURO_MLP_ACTIVATION_H
-#define NEURO_MLP_ACTIVATION_H
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -93,4 +92,3 @@ class PiecewiseSigmoid
 } // namespace mlp
 } // namespace neuro
 
-#endif // NEURO_MLP_ACTIVATION_H

@@ -7,8 +7,7 @@
  * next layer's weights.
  */
 
-#ifndef NEURO_MLP_BACKPROP_H
-#define NEURO_MLP_BACKPROP_H
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -74,4 +73,3 @@ double trainAndEvaluate(const MlpConfig &mlp_config,
 } // namespace mlp
 } // namespace neuro
 
-#endif // NEURO_MLP_BACKPROP_H

@@ -6,8 +6,7 @@
  * 28x28-100-10 (Table 1); the iso-accuracy comparison uses 28x28-15-10.
  */
 
-#ifndef NEURO_MLP_MLP_H
-#define NEURO_MLP_MLP_H
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -109,4 +108,3 @@ class Mlp
 } // namespace mlp
 } // namespace neuro
 
-#endif // NEURO_MLP_MLP_H

@@ -8,8 +8,7 @@
  * that ~1% gap on our workload.
  */
 
-#ifndef NEURO_MLP_QUANTIZED_H
-#define NEURO_MLP_QUANTIZED_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -120,4 +119,3 @@ class QuantizedMlp
 } // namespace mlp
 } // namespace neuro
 
-#endif // NEURO_MLP_QUANTIZED_H

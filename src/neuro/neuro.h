@@ -5,8 +5,7 @@
  * headers remain available for finer-grained dependencies.
  */
 
-#ifndef NEURO_NEURO_H
-#define NEURO_NEURO_H
+#pragma once
 
 /** Library version. */
 #define NEURO_VERSION_MAJOR 1
@@ -85,4 +84,3 @@
 #include "neuro/core/metrics.h"
 #include "neuro/core/reports.h"
 
-#endif // NEURO_NEURO_H

@@ -7,8 +7,7 @@
  * thresholds / one specialist fires" story).
  */
 
-#ifndef NEURO_SNN_ANALYSIS_H
-#define NEURO_SNN_ANALYSIS_H
+#pragma once
 
 #include <vector>
 
@@ -53,4 +52,3 @@ SelectivityReport neuronSelectivity(const SnnNetwork &net,
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_ANALYSIS_H

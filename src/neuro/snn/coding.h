@@ -25,8 +25,7 @@
  *  - RankOrder: one spike per pixel, ordered by luminance rank.
  */
 
-#ifndef NEURO_SNN_CODING_H
-#define NEURO_SNN_CODING_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -128,4 +127,3 @@ class SpikeEncoder
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_CODING_H

@@ -16,8 +16,7 @@
  * is retained.
  */
 
-#ifndef NEURO_SNN_GRID_CACHE_H
-#define NEURO_SNN_GRID_CACHE_H
+#pragma once
 
 #include <cstdint>
 #include <list>
@@ -126,4 +125,3 @@ class GridCache
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_GRID_CACHE_H

@@ -10,8 +10,7 @@
  * hardware implementation.
  */
 
-#ifndef NEURO_SNN_HOMEOSTASIS_H
-#define NEURO_SNN_HOMEOSTASIS_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -76,4 +75,3 @@ class Homeostasis
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_HOMEOSTASIS_H

@@ -9,8 +9,7 @@
  * imbalance).
  */
 
-#ifndef NEURO_SNN_LABELING_H
-#define NEURO_SNN_LABELING_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -48,4 +47,3 @@ class SelfLabeling
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_LABELING_H

@@ -9,8 +9,7 @@
  * integration, and test their equivalence.
  */
 
-#ifndef NEURO_SNN_LIF_H
-#define NEURO_SNN_LIF_H
+#pragma once
 
 #include <cstdint>
 
@@ -96,4 +95,3 @@ struct LifNeuron
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_LIF_H

@@ -169,6 +169,7 @@ SnnNetwork::stepTick(int64_t t, const std::vector<uint16_t> &spikes,
         }
         const float *row = weights_.row(n);
         double drive = 0.0;
+        // neurolint: ordered-sum
         for (uint16_t p : spikes)
             drive += row[p];
         potentials_[n] += drive;
@@ -362,6 +363,7 @@ SnnNetwork::presentEvents(const PackedSpikeGrid &grid, bool learn)
         // weights — per neuron, the additions run in the same spike
         // order as the dense row walk, so the sums are bit-identical.
         std::fill(driveScratch_.begin(), driveScratch_.end(), 0.0);
+        // neurolint: ordered-sum
         for (std::size_t s = 0; s < spike_count; ++s) {
             const float *__restrict wt = weightsT_.row(spikes[s]);
             for (std::size_t n = 0; n < num_neurons; ++n)
@@ -445,6 +447,7 @@ SnnNetwork::forwardCounts(const uint8_t *counts,
     for (std::size_t n = 0; n < num_neurons; ++n) {
         const float *row = weights_.row(n);
         double pot = 0.0;
+        // neurolint: ordered-sum
         for (std::size_t p = 0; p < num_inputs; ++p)
             pot += static_cast<double>(counts[p]) * row[p];
         if (potentials)

@@ -24,8 +24,7 @@
  * the LIF/homeostasis unit tests.
  */
 
-#ifndef NEURO_SNN_NETWORK_H
-#define NEURO_SNN_NETWORK_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -270,4 +269,3 @@ class SnnNetwork
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_NETWORK_H

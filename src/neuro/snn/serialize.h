@@ -6,8 +6,7 @@
  * trained once and deployed/inspected later.
  */
 
-#ifndef NEURO_SNN_SERIALIZE_H
-#define NEURO_SNN_SERIALIZE_H
+#pragma once
 
 #include <optional>
 #include <string>
@@ -39,4 +38,3 @@ loadSnn(const Archive &archive, const std::string &prefix = "snn");
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_SERIALIZE_H

@@ -16,8 +16,7 @@
  * targets, which is exactly back-propagation for this single-layer net.
  */
 
-#ifndef NEURO_SNN_SNN_BP_H
-#define NEURO_SNN_SNN_BP_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -89,4 +88,3 @@ class SnnBp
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_SNN_BP_H

@@ -10,8 +10,7 @@
  * model of that datapath, built from a trained SnnNetwork.
  */
 
-#ifndef NEURO_SNN_SNN_WOT_H
-#define NEURO_SNN_SNN_WOT_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -85,4 +84,3 @@ class SnnWotDatapath
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_SNN_WOT_H

@@ -22,8 +22,7 @@
  * a per-pixel spike generator cannot emit twice in one cycle.
  */
 
-#ifndef NEURO_SNN_SPIKE_BITS_H
-#define NEURO_SNN_SPIKE_BITS_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -128,4 +127,3 @@ class PackedSpikeGrid
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_SPIKE_BITS_H

@@ -10,8 +10,7 @@
  * lateral inhibition.
  */
 
-#ifndef NEURO_SNN_STDP_H
-#define NEURO_SNN_STDP_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -68,4 +67,3 @@ class StdpRule
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_STDP_H

@@ -5,8 +5,7 @@
  * the timed (SNNwt) or the count-based (SNNwot) forward path.
  */
 
-#ifndef NEURO_SNN_TRAINER_H
-#define NEURO_SNN_TRAINER_H
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -147,4 +146,3 @@ double trainAndEvaluateStdp(const SnnConfig &config,
 } // namespace snn
 } // namespace neuro
 
-#endif // NEURO_SNN_TRAINER_H

@@ -31,8 +31,9 @@ TEST_P(SlopeTest, HigherSlopeIsSteeper)
     const Activation steep(ActivationKind::ParamSigmoid, a);
     // At x=0 both are 0.5; just right of 0 the steeper one is larger.
     EXPECT_NEAR(steep.apply(0.0f), 0.5f, 1e-6);
-    if (a > 1.0f)
+    if (a > 1.0f) {
         EXPECT_GT(steep.apply(0.2f), base.apply(0.2f));
+    }
     // Approaches the step function as a grows (Figure 5).
     const Activation step(ActivationKind::Step);
     EXPECT_NEAR(steep.apply(4.0f), step.apply(4.0f), 1.0f / a);

@@ -92,8 +92,9 @@ TEST_P(FoldedMlpSimTest, CyclesMatchAnalyticFormula)
     EXPECT_EQ(stats.macs, 784u * 100 + 100 * 10);
     EXPECT_EQ(stats.activations, 110u);
     // Idle lanes only in ragged final chunks.
-    if (784 % ni == 0 && 100 % ni == 0)
+    if (784 % ni == 0 && 100 % ni == 0) {
         EXPECT_EQ(stats.idleLanes, 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Folds, FoldedMlpSimTest,

@@ -70,8 +70,9 @@ TEST_P(FaultSweepTest, MlpDegradesGracefullyAndMonotonically)
     // 2% faults cost little (graceful degradation)...
     EXPECT_GT(points[1].accuracy, clean - 0.25);
     // ...while 50% faults are clearly destructive for stuck-at-1.
-    if (GetParam() == FaultModel::StuckAtOne)
+    if (GetParam() == FaultModel::StuckAtOne) {
         EXPECT_LT(points[2].accuracy, clean);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Models, FaultSweepTest,

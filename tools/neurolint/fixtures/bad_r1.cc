@@ -1,0 +1,12 @@
+// Known-bad fixture for R1: raw libc / std randomness in library code.
+// The neurolint ctest gate asserts this file FAILS the lint.
+#include <cstdlib>
+#include <random>
+
+int
+weightJitter()
+{
+    srand(42);                       // R1: seeds the shared libc stream
+    std::random_device entropy;      // R1: nondeterministic source
+    return rand() % 7 + static_cast<int>(entropy());
+}

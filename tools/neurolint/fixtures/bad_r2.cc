@@ -1,0 +1,24 @@
+// Known-bad fixture for R2: shared / underived Rng streams inside the
+// data-parallel primitives. Every variant here makes results depend on
+// chunk scheduling. The neurolint ctest gate asserts this file FAILS.
+#include <cstddef>
+#include <vector>
+
+struct Rng { explicit Rng(unsigned long long seed); double uniform(); };
+void parallelFor(std::size_t b, std::size_t e, const auto &fn);
+void parallelMap(std::size_t n, const auto &fn);
+
+void
+noisyEval(std::vector<double> &out, unsigned long long seed)
+{
+    Rng shared(seed);
+    parallelFor(0, out.size(), [&](std::size_t i) {
+        Rng &r = shared;             // R2: one generator across indices
+        out[i] = r.uniform();
+    });
+    parallelMap(out.size(), [&](std::size_t i) {
+        Rng local(seed + i);         // R2: seed not via deriveStreamSeed
+        Rng *heap = new Rng(seed);   // R2: raw new Rng in parallel region
+        out[i] = local.uniform() + heap->uniform();
+    });
+}

@@ -1,0 +1,13 @@
+// Known-bad fixture for R3: direct console I/O from library code.
+// (Paths under fixtures/ never get the tools//bench/ exemption — the
+// snippets stand in for library code. The lint gate passes this file
+// to neurolint explicitly and asserts the lint FAILS.)
+#include <iostream>
+
+void
+reportProgress(int epoch)
+{
+    std::cout << "epoch " << epoch << "\n"; // R3: bypasses logging
+    if (epoch < 0)
+        std::cerr << "bad epoch\n";         // R3: bypasses warn()
+}

@@ -1,0 +1,8 @@
+// Known-bad fixture for R4: a header with a classic include guard but
+// no #pragma once. The neurolint ctest gate asserts this FAILS.
+#ifndef NEUROLINT_FIXTURE_BAD_R4_H
+#define NEUROLINT_FIXTURE_BAD_R4_H
+
+int fixtureValue();
+
+#endif // NEUROLINT_FIXTURE_BAD_R4_H

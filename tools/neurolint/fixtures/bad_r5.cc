@@ -1,0 +1,17 @@
+// Known-bad fixture for R5: float accumulation inside a loop tagged
+// as an ordered (bit-identical) sum. The neurolint ctest gate asserts
+// this file FAILS the lint.
+#include <cstddef>
+
+double
+synapticDrive(const float *row, const unsigned short *spikes,
+              std::size_t count)
+{
+    float drive = 0.0f;
+    // neurolint: ordered-sum
+    for (std::size_t s = 0; s < count; ++s) {
+        drive += row[spikes[s]];             // R5: float accumulator
+        drive += static_cast<float>(s) * 0;  // R5: float cast mid-sum
+    }
+    return drive;
+}

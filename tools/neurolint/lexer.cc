@@ -1,0 +1,160 @@
+#include "neurolint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace neurolint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    std::vector<Token> toks;
+    const std::size_t n = src.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    auto advance = [&](std::size_t count) {
+        for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+            if (src[i] == '\n')
+                ++line;
+        }
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            advance(1);
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            const int at = line;
+            std::size_t j = i + 2;
+            while (j < n && src[j] != '\n')
+                ++j;
+            toks.push_back({TokKind::Comment,
+                            src.substr(i + 2, j - i - 2), at});
+            advance(j - i);
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            const int at = line;
+            std::size_t j = i + 2;
+            while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/'))
+                ++j;
+            const std::size_t end = (j + 1 < n) ? j + 2 : n;
+            toks.push_back({TokKind::Comment,
+                            src.substr(i + 2, j - i - 2), at});
+            advance(end - i);
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            const int at = line;
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && src[j] != '(')
+                delim += src[j++];
+            const std::string close = ")" + delim + "\"";
+            const std::size_t body = (j < n) ? j + 1 : n;
+            const std::size_t end = src.find(close, body);
+            const std::size_t stop =
+                (end == std::string::npos) ? n : end;
+            toks.push_back({TokKind::String,
+                            src.substr(body, stop - body), at});
+            const std::size_t total =
+                (end == std::string::npos) ? n : end + close.size();
+            advance(total - i);
+            continue;
+        }
+
+        // String literal.
+        if (c == '"') {
+            const int at = line;
+            std::size_t j = i + 1;
+            while (j < n && src[j] != '"') {
+                if (src[j] == '\\' && j + 1 < n)
+                    ++j;
+                ++j;
+            }
+            toks.push_back({TokKind::String,
+                            src.substr(i + 1, j - i - 1), at});
+            advance((j < n ? j + 1 : n) - i);
+            continue;
+        }
+
+        // Char literal. Distinguish from digit separators (1'000) by
+        // requiring the previous token not to be a number, and from
+        // the rare `operator'` cases we don't care about.
+        if (c == '\'' &&
+            (toks.empty() || toks.back().kind != TokKind::Number)) {
+            const int at = line;
+            std::size_t j = i + 1;
+            while (j < n && src[j] != '\'') {
+                if (src[j] == '\\' && j + 1 < n)
+                    ++j;
+                ++j;
+            }
+            toks.push_back({TokKind::CharLit,
+                            src.substr(i + 1, j - i - 1), at});
+            advance((j < n ? j + 1 : n) - i);
+            continue;
+        }
+
+        // Identifier or keyword.
+        if (isIdentStart(c)) {
+            std::size_t j = i + 1;
+            while (j < n && isIdentChar(src[j]))
+                ++j;
+            toks.push_back({TokKind::Identifier,
+                            src.substr(i, j - i), line});
+            advance(j - i);
+            continue;
+        }
+
+        // pp-number (digits, dots, exponents, suffixes, separators).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            std::size_t j = i + 1;
+            while (j < n &&
+                   (isIdentChar(src[j]) || src[j] == '.' ||
+                    src[j] == '\'' ||
+                    ((src[j] == '+' || src[j] == '-') &&
+                     (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                      src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+                ++j;
+            }
+            toks.push_back({TokKind::Number,
+                            src.substr(i, j - i), line});
+            advance(j - i);
+            continue;
+        }
+
+        toks.push_back({TokKind::Punct, std::string(1, c), line});
+        advance(1);
+    }
+    return toks;
+}
+
+} // namespace neurolint

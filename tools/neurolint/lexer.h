@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Lightweight C++ tokenizer for the neurolint project linter.
+ *
+ * This is not a compiler front end: it splits a translation unit into
+ * just enough token structure for the rule engine to reason about
+ * identifiers, call sites and brace/paren extents without being fooled
+ * by string literals or comments. Comments are kept as tokens because
+ * neurolint's suppression (`// neurolint: allow(R3)`) and tagging
+ * (`// neurolint: ordered-sum`) directives live inside them.
+ *
+ * Handled: line and block comments, string literals with escapes, raw
+ * string literals, char literals, pp-numbers, identifiers, and
+ * punctuation (multi-character operators are split into single chars;
+ * the rules only ever look at `::`, `->`, `+=` and friends via small
+ * adjacent-token matches, so this keeps the lexer tiny).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace neurolint {
+
+enum class TokKind {
+    Identifier, // keywords included; rules match on spelling
+    Number,
+    String,     // text is the literal contents, quotes stripped
+    CharLit,
+    Punct,      // single punctuation character
+    Comment,    // text is the comment body without // or /* */
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line; // 1-based line of the token's first character
+};
+
+/** Tokenize a whole source buffer. Never fails: unterminated literals
+ *  are closed at end of input so the rules still see a best-effort
+ *  stream. */
+std::vector<Token> tokenize(const std::string &src);
+
+} // namespace neurolint

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * neurolint CLI: walk source trees, run the project rules, report.
+ *
+ *   neurolint --check <path>... [--baseline=<file>] [--self-sufficiency]
+ *             [--include-root=<dir>] [--write-baseline=<file>] [--verbose]
+ *   neurolint --list-rules
+ *
+ * Paths may be files or directories; directories are walked for
+ * .h/.hpp/.cc/.cpp/.cxx files, skipping build trees, .git and any
+ * directory named `fixtures` (the checked-in known-bad snippets —
+ * lint them by naming the file explicitly, as the ctest gate does).
+ *
+ * Exit status: 0 clean (baselined findings are reported but do not
+ * fail), 1 findings, 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "neurolint/rules.h"
+
+namespace fs = std::filesystem;
+using neurolint::Finding;
+
+namespace {
+
+const char *const kRuleHelp =
+    "R1  rand          no rand()/srand()/std::random_device outside "
+    "common/rng.*\n"
+    "R2  rng-stream    per-index Rng(deriveStreamSeed(...)) inside "
+    "parallelFor/parallelForRange/parallelMap\n"
+    "R3  io            no std::cout/std::cerr outside common/logging, "
+    "tools/, bench/, examples/\n"
+    "R4  pragma-once   headers carry #pragma once; with "
+    "--self-sufficiency they also compile standalone\n"
+    "R5  ordered-sum   loops tagged `// neurolint: ordered-sum` "
+    "accumulate in double only\n";
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" ||
+           ext == ".cpp" || ext == ".cxx";
+}
+
+bool
+skippedDir(const fs::path &p)
+{
+    const std::string name = p.filename().string();
+    return name == ".git" || name == "fixtures" ||
+           name.rfind("build", 0) == 0 ||
+           name.rfind("cmake-build", 0) == 0;
+}
+
+void
+collectFiles(const fs::path &root, std::vector<std::string> &files)
+{
+    if (fs::is_regular_file(root)) {
+        files.push_back(root.string());
+        return;
+    }
+    fs::recursive_directory_iterator it(root), end;
+    for (; it != end; ++it) {
+        if (it->is_directory() && skippedDir(it->path())) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (it->is_regular_file() && lintableExtension(it->path()))
+            files.push_back(it->path().string());
+    }
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+/** Headers under src/neuro compile against the directory that holds
+ *  `neuro/`; derive it from the header's own path. */
+std::string
+includeRootFor(const std::string &header, const std::string &override)
+{
+    if (!override.empty())
+        return override;
+    const std::size_t at = header.rfind("/neuro/");
+    return at == std::string::npos ? "." : header.substr(0, at);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    std::string baselinePath;
+    std::string writeBaselinePath;
+    std::string includeRoot;
+    bool selfSufficiency = false;
+    bool verbose = false;
+    bool check = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *prefix) {
+            return arg.substr(std::string(prefix).size());
+        };
+        if (arg == "--check") {
+            check = true;
+        } else if (arg == "--list-rules") {
+            std::cout << kRuleHelp;
+            return 0;
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            baselinePath = value("--baseline=");
+        } else if (arg.rfind("--write-baseline=", 0) == 0) {
+            writeBaselinePath = value("--write-baseline=");
+        } else if (arg.rfind("--include-root=", 0) == 0) {
+            includeRoot = value("--include-root=");
+        } else if (arg == "--self-sufficiency") {
+            selfSufficiency = true;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "neurolint: unknown option " << arg << "\n";
+            return 2;
+        } else {
+            roots.push_back(arg);
+        }
+    }
+    if (!check || roots.empty()) {
+        std::cerr << "usage: neurolint --check <path>... "
+                     "[--baseline=<file>] [--self-sufficiency]\n"
+                     "                 [--include-root=<dir>] "
+                     "[--write-baseline=<file>] [--verbose]\n"
+                     "       neurolint --list-rules\n";
+        return 2;
+    }
+
+    std::vector<std::string> files;
+    for (const std::string &root : roots) {
+        if (!fs::exists(root)) {
+            std::cerr << "neurolint: no such path: " << root << "\n";
+            return 2;
+        }
+        collectFiles(root, files);
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Finding> findings;
+    for (const std::string &file : files) {
+        std::string content;
+        if (!readFile(file, content)) {
+            std::cerr << "neurolint: cannot read " << file << "\n";
+            return 2;
+        }
+        std::vector<Finding> perFile =
+            neurolint::lintSource(file, content);
+        if (selfSufficiency &&
+            file.find("/neuro/") != std::string::npos &&
+            (file.size() > 2 &&
+             file.compare(file.size() - 2, 2, ".h") == 0)) {
+            std::vector<Finding> self = neurolint::checkSelfSufficient(
+                file, includeRootFor(file, includeRoot));
+            perFile.insert(perFile.end(), self.begin(), self.end());
+        }
+        findings.insert(findings.end(), perFile.begin(), perFile.end());
+    }
+
+    if (!baselinePath.empty())
+        neurolint::applyBaseline(findings,
+                                 neurolint::loadBaseline(baselinePath));
+
+    if (!writeBaselinePath.empty()) {
+        std::set<std::string> keys;
+        for (const Finding &f : findings)
+            keys.insert(neurolint::baselineKey(f));
+        std::ofstream out(writeBaselinePath);
+        out << "# neurolint baseline: `<rule> <path>` per line. "
+               "Entries downgrade existing\n"
+               "# findings so the gate ratchets; remove a line once "
+               "its debt is paid.\n";
+        for (const std::string &key : keys)
+            out << key << "\n";
+        std::cout << "neurolint: wrote " << keys.size()
+                  << " baseline entries to " << writeBaselinePath
+                  << "\n";
+        return 0;
+    }
+
+    std::size_t live = 0;
+    for (const Finding &f : findings) {
+        if (f.baselined && !verbose)
+            continue;
+        std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message
+                  << (f.baselined ? " (baselined)" : "") << "\n";
+    }
+    for (const Finding &f : findings)
+        live += f.baselined ? 0 : 1;
+
+    if (verbose || live > 0) {
+        std::cerr << "neurolint: " << files.size() << " files, " << live
+                  << " finding" << (live == 1 ? "" : "s")
+                  << (findings.size() > live
+                          ? " (+" +
+                                std::to_string(findings.size() - live) +
+                                " baselined)"
+                          : "")
+                  << "\n";
+    }
+    return live > 0 ? 1 : 0;
+}
