@@ -12,6 +12,70 @@ extern char **environ;
 
 namespace neuro {
 
+namespace {
+
+/**
+ * Flags every binary linking neuro_common understands via the shared
+ * init paths (initParallel / initObservability) or the bench
+ * convention. Extra per-binary flags join through registerKnownFlag().
+ */
+std::vector<std::string> &
+knownFlags()
+{
+    static std::vector<std::string> flags = {
+        "threads", "trace", "stats_dump", "quick", "help",
+    };
+    return flags;
+}
+
+/** Edit distance for the did-you-mean suggestion (small strings). */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+/** @return the closest known flag within edit distance 2, or "". */
+std::string
+closestKnownFlag(const std::string &key)
+{
+    std::string best;
+    std::size_t bestDist = 3;
+    for (const std::string &flag : knownFlags()) {
+        const std::size_t d = editDistance(key, flag);
+        if (d < bestDist) {
+            bestDist = d;
+            best = flag;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+void
+Config::registerKnownFlag(const std::string &name)
+{
+    std::string key = name;
+    std::replace(key.begin(), key.end(), '-', '_');
+    auto &flags = knownFlags();
+    if (std::find(flags.begin(), flags.end(), key) == flags.end())
+        flags.push_back(key);
+}
+
 void
 Config::set(const std::string &key, const std::string &value)
 {
@@ -84,6 +148,7 @@ Config::getBool(const std::string &key, bool fallback) const
 void
 Config::parseArgs(int argc, char **argv)
 {
+    unknownFlags_.clear();
     for (int i = 1; i < argc; ++i) {
         const char *token = argv[i];
         // `--key=value` and bare `--flag` (stored as "1") are accepted
@@ -99,6 +164,23 @@ Config::parseArgs(int argc, char **argv)
         if (key.empty())
             continue;
         std::replace(key.begin(), key.end(), '-', '_');
+        if (dashed) {
+            const auto &flags = knownFlags();
+            if (std::find(flags.begin(), flags.end(), key) ==
+                flags.end()) {
+                unknownFlags_.push_back(key);
+                const std::string hint = closestKnownFlag(key);
+                if (hint.empty()) {
+                    warn("unknown flag '--%s' (value still applied; "
+                         "see `list` for accepted flags)",
+                         key.c_str());
+                } else {
+                    warn("unknown flag '--%s' — did you mean "
+                         "'--%s'? (value still applied)",
+                         key.c_str(), hint.c_str());
+                }
+            }
+        }
         set(key, eq ? std::string(eq + 1) : std::string("1"));
     }
 }

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace neuro {
 
@@ -41,8 +42,30 @@ class Config
      * last stored as "1") from an argv vector; dashes inside keys map
      * to underscores. Non-matching tokens are ignored so benches can
      * coexist with other flags.
+     *
+     * Dashed flags are checked against the known-flag registry: a
+     * typo like `--theads=4` no longer vanishes silently but warns
+     * (with a did-you-mean suggestion) and is listed in
+     * unknownFlags(). The value is still stored, so plain `key=value`
+     * passthrough and forward compatibility are unchanged.
      */
     void parseArgs(int argc, char **argv);
+
+    /**
+     * Register an accepted `--flag` name (normalized form, dashes as
+     * underscores) so parseArgs does not warn about it. The built-in
+     * set covers the flags every binary understands (threads, trace,
+     * stats_dump, quick, ...); binaries with extra dashed flags
+     * register them before parseArgs.
+     */
+    static void registerKnownFlag(const std::string &name);
+
+    /** @return the dashed flags the last parseArgs did not recognize
+     *  (normalized, without the leading dashes). */
+    const std::vector<std::string> &unknownFlags() const
+    {
+        return unknownFlags_;
+    }
 
     /**
      * Import every `NEURO_<KEY>=value` environment variable as key
@@ -58,6 +81,7 @@ class Config
 
   private:
     std::map<std::string, std::string> entries_;
+    std::vector<std::string> unknownFlags_;
 };
 
 /**

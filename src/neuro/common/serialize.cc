@@ -1,5 +1,7 @@
 #include "neuro/common/serialize.h"
 
+#include <cstdarg>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -113,11 +115,24 @@ Archive::scalar(const std::string &name) const
 }
 
 bool
+Archive::fail(const char *fmt, ...) const
+{
+    char buffer[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+    va_end(args);
+    lastError_ = buffer;
+    return false;
+}
+
+bool
 Archive::save(const std::string &path) const
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
-        return false;
+        return fail("cannot open '%s' for writing", path.c_str());
+    lastError_.clear();
     out.write(kMagic, sizeof(kMagic));
     writeU32(out, kVersion);
     writeU32(out, static_cast<uint32_t>(size()));
@@ -137,7 +152,9 @@ Archive::save(const std::string &path) const
                   static_cast<std::streamsize>(values.size() *
                                                sizeof(int64_t)));
     }
-    return out.good();
+    if (!out.good())
+        return fail("I/O error writing '%s'", path.c_str());
+    return true;
 }
 
 bool
@@ -145,45 +162,76 @@ Archive::load(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        return false;
+        return fail("cannot open '%s'", path.c_str());
+    // Total size bounds every element count below: a corrupt record
+    // cannot claim more payload than the file holds, so no oversized
+    // allocation is ever attempted on untrusted input.
+    in.seekg(0, std::ios::end);
+    const auto fileSize = static_cast<uint64_t>(in.tellg());
+    in.seekg(0, std::ios::beg);
+
     char magic[4];
     if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0)
-        return false;
+        return fail("'%s' is not an archive (bad magic)", path.c_str());
     uint32_t version = 0, count = 0;
-    if (!readU32(in, version) || version != kVersion ||
-        !readU32(in, count)) {
-        return false;
+    if (!readU32(in, version))
+        return fail("'%s': truncated header", path.c_str());
+    if (version != kVersion) {
+        return fail("'%s': unsupported version %u (expected %u)",
+                    path.c_str(), version, kVersion);
     }
+    if (!readU32(in, count))
+        return fail("'%s': truncated header", path.c_str());
     Archive loaded;
     for (uint32_t i = 0; i < count; ++i) {
         std::string name;
-        if (!readName(in, name))
-            return false;
+        if (!readName(in, name)) {
+            return fail("'%s': truncated or oversized name of record "
+                        "%u/%u",
+                        path.c_str(), i + 1, count);
+        }
         const int tag = in.get();
         uint64_t n = 0;
-        if (tag == EOF || !readU64(in, n) || n > (1ULL << 32))
-            return false;
+        if (tag == EOF || !readU64(in, n)) {
+            return fail("'%s': truncated record '%s'", path.c_str(),
+                        name.c_str());
+        }
+        if (tag != kTagFloat && tag != kTagInt) {
+            return fail("'%s': record '%s' has unknown type tag %d",
+                        path.c_str(), name.c_str(), tag);
+        }
+        const uint64_t elemSize =
+            tag == kTagFloat ? sizeof(float) : sizeof(int64_t);
+        const auto pos = static_cast<uint64_t>(in.tellg());
+        if (n > (fileSize - pos) / elemSize) {
+            return fail("'%s': record '%s' claims %llu elements but "
+                        "only %llu bytes remain (truncated or corrupt)",
+                        path.c_str(), name.c_str(),
+                        static_cast<unsigned long long>(n),
+                        static_cast<unsigned long long>(fileSize - pos));
+        }
         if (tag == kTagFloat) {
             std::vector<float> values(n);
             if (!in.read(reinterpret_cast<char *>(values.data()),
                          static_cast<std::streamsize>(n *
                                                       sizeof(float)))) {
-                return false;
+                return fail("'%s': truncated payload of record '%s'",
+                            path.c_str(), name.c_str());
             }
             loaded.putFloats(name, std::move(values));
-        } else if (tag == kTagInt) {
+        } else {
             std::vector<int64_t> values(n);
             if (!in.read(reinterpret_cast<char *>(values.data()),
                          static_cast<std::streamsize>(
                              n * sizeof(int64_t)))) {
-                return false;
+                return fail("'%s': truncated payload of record '%s'",
+                            path.c_str(), name.c_str());
             }
             loaded.putInts(name, std::move(values));
-        } else {
-            return false;
         }
     }
     *this = std::move(loaded);
+    lastError_.clear();
     return true;
 }
 

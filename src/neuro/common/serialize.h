@@ -48,8 +48,17 @@ class Archive
     bool save(const std::string &path) const;
 
     /** Read from @p path, replacing current contents.
-     *  @return false on I/O or format failure (contents untouched). */
+     *  @return false on I/O or format failure (contents untouched).
+     *  On failure lastError() describes what was wrong — the registry
+     *  and CLI surface it instead of a bare "cannot read". Every
+     *  record's element count is validated against the bytes actually
+     *  remaining in the file, so a truncated or corrupt payload fails
+     *  cleanly instead of attempting a huge allocation mid-read. */
     bool load(const std::string &path);
+
+    /** @return a description of the last save()/load() failure
+     *  (empty after a success). */
+    const std::string &lastError() const { return lastError_; }
 
     /** @return number of stored records. */
     std::size_t size() const
@@ -58,8 +67,14 @@ class Archive
     }
 
   private:
+    /** Set lastError_ (printf-style) and @return false. */
+    bool fail(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+
     std::map<std::string, std::vector<float>> floatArrays_;
     std::map<std::string, std::vector<int64_t>> intArrays_;
+    /** Failure description; mutable so const save() can report too. */
+    mutable std::string lastError_;
 };
 
 } // namespace neuro

@@ -1,0 +1,121 @@
+#include "neuro/serve/queue.h"
+
+#include <algorithm>
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace serve {
+
+const char *
+requestStatusName(RequestStatus status)
+{
+    switch (status) {
+    case RequestStatus::Ok: return "ok";
+    case RequestStatus::Rejected: return "rejected";
+    case RequestStatus::Expired: return "expired";
+    }
+    return "unknown";
+}
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity)
+{
+    NEURO_ASSERT(capacity >= 1, "queue capacity must be >= 1");
+}
+
+bool
+RequestQueue::push(PendingRequest &&pending)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || items_.size() >= capacity_)
+            return false;
+        items_.push_back(std::move(pending));
+    }
+    nonEmpty_.notify_one();
+    return true;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    nonEmpty_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+MicroBatcher::MicroBatcher(RequestQueue &queue, BatchPolicy policy)
+    : queue_(queue), policy_(policy)
+{
+    NEURO_ASSERT(policy_.maxBatch >= 1, "maxBatch must be >= 1");
+}
+
+std::vector<PendingRequest>
+MicroBatcher::nextBatch(int64_t idleTimeoutMicros)
+{
+    std::vector<PendingRequest> batch;
+    std::unique_lock<std::mutex> lock(queue_.mutex_);
+
+    // Phase 1: wait for the first request (or close / idle timeout).
+    if (idleTimeoutMicros < 0) {
+        queue_.nonEmpty_.wait(lock, [&] {
+            return !queue_.items_.empty() || queue_.closed_;
+        });
+    } else {
+        queue_.nonEmpty_.wait_for(
+            lock, std::chrono::microseconds(idleTimeoutMicros), [&] {
+                return !queue_.items_.empty() || queue_.closed_;
+            });
+    }
+    if (queue_.items_.empty())
+        return batch; // idle-timer flush, or closed and drained.
+
+    // Phase 2: the first request opens the batch; wait for it to fill
+    // up to maxBatch, but no longer than maxWaitMicros past the open,
+    // never past the earliest deadline in hand, and not at all once
+    // the queue is closed (shutdown drains at full speed).
+    auto take = [&] {
+        batch.push_back(std::move(queue_.items_.front()));
+        queue_.items_.pop_front();
+    };
+    take();
+    auto fillUntil =
+        ServeClock::now() + std::chrono::microseconds(policy_.maxWaitMicros);
+    while (batch.size() < policy_.maxBatch) {
+        if (!queue_.items_.empty()) {
+            take();
+            continue;
+        }
+        if (queue_.closed_)
+            break;
+        for (const PendingRequest &pending : batch) {
+            fillUntil =
+                std::min(fillUntil, pending.request.deadline);
+        }
+        if (ServeClock::now() >= fillUntil)
+            break;
+        if (queue_.nonEmpty_.wait_until(lock, fillUntil) ==
+            std::cv_status::timeout)
+            break;
+    }
+    return batch;
+}
+
+} // namespace serve
+} // namespace neuro

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Admission-controlled request queue and deadline-aware micro-batcher
+ * of the serving runtime (docs/serving.md).
+ *
+ * RequestQueue is a bounded MPMC queue: producers (client threads)
+ * push requests and are rejected immediately when the queue is full or
+ * closed — admission control, not backpressure-by-blocking, so a
+ * traffic spike degrades to fast rejections instead of unbounded
+ * latency. MicroBatcher drains it into dynamic batches under a
+ * max-batch-size / max-wait policy: the first request opens a batch,
+ * and the batcher waits for the batch to fill for at most
+ * maxWaitMicros — but never past the earliest deadline already in
+ * hand, and never once the queue is closed (shutdown flushes
+ * immediately).
+ */
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+namespace neuro {
+namespace serve {
+
+/** The serving clock (monotonic). */
+using ServeClock = std::chrono::steady_clock;
+
+/** Terminal disposition of a request. */
+enum class RequestStatus
+{
+    Ok,       ///< classified by a backend.
+    Rejected, ///< queue full (admission control) or server stopped.
+    Expired,  ///< deadline passed before a worker got to it.
+};
+
+/** @return a printable name ("ok", "rejected", "expired"). */
+const char *requestStatusName(RequestStatus status);
+
+/** One classification request. */
+struct InferenceRequest
+{
+    uint64_t id = 0;              ///< caller-chosen request id.
+    std::vector<uint8_t> pixels;  ///< the sample (owned).
+    /** Per-request random stream; derive as
+     *  deriveStreamSeed(traceSeed, id) so results are a pure function
+     *  of the trace, independent of batching and worker count. */
+    uint64_t streamSeed = 0;
+    /** Absolute deadline; time_point::max() = none. Checked when a
+     *  worker dequeues the request, and it caps the batch fill wait. */
+    ServeClock::time_point deadline = ServeClock::time_point::max();
+};
+
+/** What the server hands back through the request's future. */
+struct InferenceResult
+{
+    uint64_t id = 0;
+    RequestStatus status = RequestStatus::Rejected;
+    int classIndex = -1;        ///< predicted class (Ok only).
+    bool usedFallback = false;  ///< served by the SLO-fallback backend.
+    uint32_t batchSize = 0;     ///< size of the batch it rode in.
+    double queueMicros = 0.0;   ///< enqueue -> batch formation.
+    double totalMicros = 0.0;   ///< enqueue -> completion.
+};
+
+/** A queued request plus its completion promise and arrival stamp. */
+struct PendingRequest
+{
+    InferenceRequest request;
+    std::promise<InferenceResult> promise;
+    ServeClock::time_point enqueueTime;
+};
+
+/** Bounded, closeable MPMC request queue. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t capacity);
+
+    /**
+     * Enqueue a request. @return false (without touching the promise)
+     * when the queue is full or closed — the caller owns the
+     * rejection path.
+     */
+    bool push(PendingRequest &&pending);
+
+    /** Stop accepting pushes and wake all waiters; queued requests
+     *  remain poppable so shutdown can drain them. */
+    void close();
+
+    /** @return true once close() was called. */
+    bool closed() const;
+
+    /** @return current queue depth. */
+    std::size_t size() const;
+
+  private:
+    friend class MicroBatcher;
+
+    mutable std::mutex mutex_;
+    std::condition_variable nonEmpty_;
+    std::deque<PendingRequest> items_;
+    std::size_t capacity_;
+    bool closed_ = false;
+};
+
+/** Batch formation policy. */
+struct BatchPolicy
+{
+    std::size_t maxBatch = 8;     ///< requests per batch, >= 1.
+    int64_t maxWaitMicros = 200;  ///< max fill wait after first item.
+};
+
+/** Drains a RequestQueue into deadline-aware dynamic batches. */
+class MicroBatcher
+{
+  public:
+    MicroBatcher(RequestQueue &queue, BatchPolicy policy);
+
+    /**
+     * Block for the next batch.
+     *
+     * @param idleTimeoutMicros how long to wait for the *first*
+     *        request; < 0 waits indefinitely (until close()).
+     * @return up to maxBatch requests; empty when the idle timer
+     *         fired with nothing queued, or when the queue is closed
+     *         and fully drained.
+     */
+    std::vector<PendingRequest> nextBatch(int64_t idleTimeoutMicros = -1);
+
+  private:
+    RequestQueue &queue_;
+    BatchPolicy policy_;
+};
+
+} // namespace serve
+} // namespace neuro

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Named backend registry of the serving runtime: loads checkpoints
+ * written through common/serialize.h Archives (by `neurocmp
+ * train-snn`, the examples, or any caller of mlp::Mlp::serialize /
+ * snn::saveSnn) and instantiates every backend the checkpoint
+ * supports behind the InferenceBackend interface.
+ *
+ * Checkpoint paths are treated as untrusted: a bad magic, unsupported
+ * version or truncated payload surfaces as a registry error string
+ * (Archive::lastError), never a crash mid-load.
+ */
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "neuro/serve/backend.h"
+
+namespace neuro {
+namespace serve {
+
+/** Thread-safe name -> backend map with checkpoint loading. */
+class ModelRegistry
+{
+  public:
+    ModelRegistry() = default;
+
+    /** Register @p backend under @p name (replaces any previous). */
+    void add(const std::string &name,
+             std::shared_ptr<InferenceBackend> backend);
+
+    /** @return the named backend, or nullptr. */
+    std::shared_ptr<InferenceBackend>
+    find(const std::string &name) const;
+
+    /** Remove a backend. @return true if it existed. */
+    bool remove(const std::string &name);
+
+    /** @return all registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Load the checkpoint at @p path and register every backend it
+     * supports:
+     *
+     *  - an MLP checkpoint ("mlp.*" records) registers "<name>"
+     *    (float forward) and "<name>.q8" (8-bit datapath);
+     *  - a labeled SNN checkpoint ("snn.*" records) registers
+     *    "<name>" (timed SNNwt path) and "<name>.wot" (count-based
+     *    SNNwot datapath, the natural SLO fallback).
+     *
+     * @return the registered names; empty on failure with @p error
+     *         (if non-null) describing why — including the archive
+     *         layer's corrupt-file diagnostics.
+     */
+    std::vector<std::string> loadFile(const std::string &name,
+                                      const std::string &path,
+                                      std::string *error = nullptr);
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<InferenceBackend>> backends_;
+};
+
+} // namespace serve
+} // namespace neuro

@@ -1,0 +1,259 @@
+#include "neuro/serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "neuro/common/logging.h"
+#include "neuro/common/parallel.h"
+#include "neuro/common/profile.h"
+
+namespace neuro {
+namespace serve {
+
+namespace {
+
+double
+microsBetween(ServeClock::time_point from, ServeClock::time_point to)
+{
+    return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+} // namespace
+
+std::unique_ptr<BackendSession>
+InferenceServer::SessionPool::acquire()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!idle_.empty()) {
+            std::unique_ptr<BackendSession> session =
+                std::move(idle_.back());
+            idle_.pop_back();
+            return session;
+        }
+    }
+    return backend_.newSession();
+}
+
+void
+InferenceServer::SessionPool::release(
+    std::unique_ptr<BackendSession> session)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(session));
+}
+
+InferenceServer::InferenceServer(
+    std::shared_ptr<InferenceBackend> primary, ServeConfig config,
+    std::shared_ptr<InferenceBackend> fallback)
+    : primary_(std::move(primary)), fallback_(std::move(fallback)),
+      config_(config), queue_(config.queueCapacity),
+      batcher_(queue_, config.batch), primarySessions_(*primary_)
+{
+    NEURO_ASSERT(primary_ != nullptr, "serve: primary backend required");
+    if (fallback_ != nullptr) {
+        NEURO_ASSERT(fallback_->inputSize() == primary_->inputSize(),
+                     "serve: fallback input size %zu != primary %zu",
+                     fallback_->inputSize(), primary_->inputSize());
+        fallbackSessions_ = std::make_unique<SessionPool>(*fallback_);
+    }
+    if (config_.enableFallback) {
+        NEURO_ASSERT(fallback_ != nullptr,
+                     "serve: enableFallback requires a fallback backend");
+        NEURO_ASSERT(config_.sloP99Micros > 0,
+                     "serve: enableFallback requires sloP99Micros > 0");
+    }
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+std::future<InferenceResult>
+InferenceServer::submit(InferenceRequest request)
+{
+    NEURO_ASSERT(request.pixels.size() == primary_->inputSize(),
+                 "serve: request %llu has %zu pixels, backend wants %zu",
+                 (unsigned long long)request.id, request.pixels.size(),
+                 primary_->inputSize());
+    PendingRequest pending;
+    pending.request = std::move(request);
+    pending.enqueueTime = ServeClock::now();
+    std::future<InferenceResult> future = pending.promise.get_future();
+
+    if (queue_.push(std::move(pending))) {
+        enqueued_.fetch_add(1, std::memory_order_relaxed);
+        obsCount("serve.enqueued");
+        return future;
+    }
+    // push() leaves the request untouched on rejection, so the promise
+    // is still ours to satisfy.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    obsCount("serve.rejected");
+    InferenceResult result;
+    result.id = pending.request.id;
+    result.status = RequestStatus::Rejected;
+    pending.promise.set_value(result);
+    return future;
+}
+
+void
+InferenceServer::stop()
+{
+    std::lock_guard<std::mutex> lock(stopMutex_);
+    if (stopped_.exchange(true))
+        return;
+    queue_.close();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+}
+
+ServeCounters
+InferenceServer::counters() const
+{
+    ServeCounters c;
+    c.enqueued = enqueued_.load(std::memory_order_relaxed);
+    c.completed = completed_.load(std::memory_order_relaxed);
+    c.rejected = rejected_.load(std::memory_order_relaxed);
+    c.expired = expired_.load(std::memory_order_relaxed);
+    c.batches = batches_.load(std::memory_order_relaxed);
+    c.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+    return c;
+}
+
+void
+InferenceServer::dispatchLoop()
+{
+    for (;;) {
+        std::vector<PendingRequest> batch = batcher_.nextBatch();
+        if (batch.empty())
+            return; // closed and drained.
+        runBatch(batch);
+        updateSlo();
+    }
+}
+
+void
+InferenceServer::runBatch(std::vector<PendingRequest> &batch)
+{
+    NEURO_PROFILE_SCOPE("serve/batch");
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    obsCount("serve.batches");
+    obsSample("serve.batch_size", static_cast<double>(batch.size()));
+
+    const auto batchStart = ServeClock::now();
+    const auto batchSize = static_cast<uint32_t>(batch.size());
+
+    // Deadline check at dequeue: anything already past its deadline is
+    // fulfilled as Expired without spending backend cycles on it.
+    std::vector<PendingRequest *> live;
+    live.reserve(batch.size());
+    for (PendingRequest &pending : batch) {
+        if (pending.request.deadline < batchStart) {
+            expired_.fetch_add(1, std::memory_order_relaxed);
+            obsCount("serve.expired");
+            InferenceResult result;
+            result.id = pending.request.id;
+            result.status = RequestStatus::Expired;
+            result.batchSize = batchSize;
+            result.queueMicros =
+                microsBetween(pending.enqueueTime, batchStart);
+            result.totalMicros = result.queueMicros;
+            pending.promise.set_value(result);
+        } else {
+            live.push_back(&pending);
+        }
+    }
+    if (live.empty())
+        return;
+
+    const bool useFallback =
+        degraded_.load(std::memory_order_relaxed) && fallback_ != nullptr;
+    SessionPool &pool =
+        useFallback ? *fallbackSessions_ : primarySessions_;
+
+    // One contiguous chunk per worker: each chunk goes through a
+    // session's batched entry point, so dense backends get their
+    // weight-reuse/SIMD win and results land in per-index slots
+    // (thread-count independent). Chunks are rounded up to the
+    // backend's strip granularity — splitting a batch into sub-strip
+    // chunks would silently demote every request to the scalar path.
+    const InferenceBackend &backend =
+        useFallback ? *fallback_ : *primary_;
+    const std::size_t n = live.size();
+    const std::size_t workers = parallelThreadCount();
+    const std::size_t stripSize = std::max<std::size_t>(
+        std::size_t{1}, backend.batchGranularity());
+    std::size_t grain = (n + workers - 1) / workers;
+    grain = (grain + stripSize - 1) / stripSize * stripSize;
+    std::vector<int> classes(n, -1);
+    parallelForRange(
+        std::size_t{0}, n, grain, [&](std::size_t i0, std::size_t i1) {
+            std::unique_ptr<BackendSession> session = pool.acquire();
+            const std::size_t m = i1 - i0;
+            std::vector<const uint8_t *> pixelPtrs(m);
+            std::vector<uint64_t> seeds(m);
+            for (std::size_t j = 0; j < m; ++j) {
+                const InferenceRequest &request = live[i0 + j]->request;
+                pixelPtrs[j] = request.pixels.data();
+                seeds[j] = request.streamSeed;
+            }
+            session->classifyBatch(pixelPtrs.data(), seeds.data(), m,
+                                   live[i0]->request.pixels.size(),
+                                   classes.data() + i0);
+            pool.release(std::move(session));
+        });
+
+    const auto batchEnd = ServeClock::now();
+    if (useFallback) {
+        fallbacks_.fetch_add(live.size(), std::memory_order_relaxed);
+        obsCount("serve.fallbacks", live.size());
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        PendingRequest &pending = *live[i];
+        InferenceResult result;
+        result.id = pending.request.id;
+        result.status = RequestStatus::Ok;
+        result.classIndex = classes[i];
+        result.usedFallback = useFallback;
+        result.batchSize = batchSize;
+        result.queueMicros =
+            microsBetween(pending.enqueueTime, batchStart);
+        result.totalMicros = microsBetween(pending.enqueueTime, batchEnd);
+        latency_.record(result.totalMicros);
+        windowLatency_.record(result.totalMicros);
+        pending.promise.set_value(result);
+    }
+    windowCompleted_ += live.size();
+    completed_.fetch_add(live.size(), std::memory_order_relaxed);
+    obsCount("serve.completed", live.size());
+}
+
+void
+InferenceServer::updateSlo()
+{
+    if (config_.sloP99Micros <= 0 ||
+        windowCompleted_ < config_.sloWindow)
+        return;
+    const double p99 = windowLatency_.percentile(0.99);
+    const auto slo = static_cast<double>(config_.sloP99Micros);
+    if (config_.enableFallback && fallback_ != nullptr) {
+        const bool degraded = degraded_.load(std::memory_order_relaxed);
+        if (!degraded && p99 > slo) {
+            degraded_.store(true, std::memory_order_relaxed);
+            warn("serve: window p99 %.0fus exceeds SLO %.0fus — "
+                 "degrading to %s fallback",
+                 p99, slo, backendKindName(fallback_->kind()));
+        } else if (degraded && p99 < 0.8 * slo) {
+            degraded_.store(false, std::memory_order_relaxed);
+            inform("serve: window p99 %.0fus back under SLO %.0fus — "
+                   "restoring primary backend",
+                   p99, slo);
+        }
+    }
+    windowLatency_.reset();
+    windowCompleted_ = 0;
+}
+
+} // namespace serve
+} // namespace neuro

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The inference server of the serving runtime (docs/serving.md): a
+ * single dispatcher thread forms micro-batches from the admission
+ * queue and fans each batch out across the process thread pool
+ * (common/parallel.h, NEURO_THREADS workers), fulfilling per-request
+ * futures with the classification and its latency breakdown.
+ *
+ * SLO & graceful degradation: when sloP99Micros is set and fallback is
+ * enabled, the server watches a sliding-window p99; while it exceeds
+ * the SLO, batches are routed to the (cheaper) fallback backend — e.g.
+ * the count-based SNNwot datapath standing in for the timed SNNwt
+ * presentation — and routed back once p99 recovers below 80% of the
+ * SLO. Fallback is off by default because switching backends changes
+ * answers; the determinism contract (bit-identical results for a fixed
+ * trace at any worker count) holds whenever the backend choice is
+ * load-independent, i.e. fallback disabled.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "neuro/serve/backend.h"
+#include "neuro/serve/histogram.h"
+#include "neuro/serve/queue.h"
+
+namespace neuro {
+namespace serve {
+
+/** Tuning knobs of an InferenceServer. */
+struct ServeConfig
+{
+    std::size_t queueCapacity = 1024; ///< admission-control bound.
+    BatchPolicy batch;                ///< micro-batching policy.
+    /** p99 latency SLO in microseconds; 0 disables SLO tracking. */
+    int64_t sloP99Micros = 0;
+    /** Completions per SLO evaluation window. */
+    uint64_t sloWindow = 256;
+    /** Route to the fallback backend while p99 exceeds the SLO.
+     *  Requires a fallback backend; breaks trace-determinism (the
+     *  backend choice becomes load-dependent), hence off by default. */
+    bool enableFallback = false;
+};
+
+/** Point-in-time serving counters (all monotonic since start). */
+struct ServeCounters
+{
+    uint64_t enqueued = 0;  ///< admitted into the queue.
+    uint64_t completed = 0; ///< classified and fulfilled Ok.
+    uint64_t rejected = 0;  ///< refused at admission (queue full/closed).
+    uint64_t expired = 0;   ///< deadline passed before execution.
+    uint64_t batches = 0;   ///< batches executed.
+    uint64_t fallbacks = 0; ///< requests served by the fallback.
+};
+
+/** Micro-batching inference server over one (or two) backends. */
+class InferenceServer
+{
+  public:
+    /**
+     * @param primary  backend serving normal traffic.
+     * @param config   tuning knobs; see ServeConfig.
+     * @param fallback optional cheaper backend for SLO degradation
+     *                 (must agree with primary on inputSize).
+     */
+    explicit InferenceServer(std::shared_ptr<InferenceBackend> primary,
+                             ServeConfig config = {},
+                             std::shared_ptr<InferenceBackend> fallback =
+                                 nullptr);
+
+    /** Stops and drains (see stop()). */
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /**
+     * Submit one request. Always returns a valid future: if admission
+     * fails (queue full or server stopped) it is already satisfied
+     * with RequestStatus::Rejected.
+     */
+    std::future<InferenceResult> submit(InferenceRequest request);
+
+    /**
+     * Close admission, drain every queued request (expired ones are
+     * still fulfilled, with RequestStatus::Expired), and join the
+     * dispatcher. Idempotent.
+     */
+    void stop();
+
+    /** @return a snapshot of the serving counters. */
+    ServeCounters counters() const;
+
+    /** @return the cumulative (since start) latency histogram. */
+    const LatencyHistogram &latency() const { return latency_; }
+
+    /** @return true while SLO degradation has engaged the fallback. */
+    bool degraded() const
+    {
+        return degraded_.load(std::memory_order_relaxed);
+    }
+
+    /** @return current queue depth (for load generators / tests). */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    const ServeConfig &config() const { return config_; }
+
+  private:
+    /** Mutex-protected stack of per-worker sessions for one backend. */
+    class SessionPool
+    {
+      public:
+        explicit SessionPool(const InferenceBackend &backend)
+            : backend_(backend)
+        {
+        }
+
+        std::unique_ptr<BackendSession> acquire();
+        void release(std::unique_ptr<BackendSession> session);
+
+      private:
+        const InferenceBackend &backend_;
+        std::mutex mutex_;
+        std::vector<std::unique_ptr<BackendSession>> idle_;
+    };
+
+    void dispatchLoop();
+    void runBatch(std::vector<PendingRequest> &batch);
+    void updateSlo();
+
+    std::shared_ptr<InferenceBackend> primary_;
+    std::shared_ptr<InferenceBackend> fallback_;
+    ServeConfig config_;
+    RequestQueue queue_;
+    MicroBatcher batcher_;
+    SessionPool primarySessions_;
+    std::unique_ptr<SessionPool> fallbackSessions_;
+
+    LatencyHistogram latency_;       ///< cumulative, for summaries.
+    LatencyHistogram windowLatency_; ///< reset each SLO window.
+    std::atomic<bool> degraded_{false};
+    uint64_t windowCompleted_ = 0;   ///< dispatcher-only.
+
+    std::atomic<uint64_t> enqueued_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> expired_{0};
+    std::atomic<uint64_t> batches_{0};
+    std::atomic<uint64_t> fallbacks_{0};
+
+    std::atomic<bool> stopped_{false};
+    std::mutex stopMutex_;
+    std::thread dispatcher_;
+};
+
+} // namespace serve
+} // namespace neuro

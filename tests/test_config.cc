@@ -68,6 +68,62 @@ TEST(Config, ParseArgsDashedFlags)
     EXPECT_FALSE(cfg.has("x"));
 }
 
+TEST(Config, WarnsOnUnknownDashedFlag)
+{
+    Config cfg;
+    // --theads is a typo of --threads: flagged, but the value still
+    // lands (passthrough preserved for forward compatibility).
+    const char *argv[] = {"prog", "--theads=4", "train=100"};
+    cfg.parseArgs(3, const_cast<char **>(argv));
+    ASSERT_EQ(cfg.unknownFlags().size(), 1u);
+    EXPECT_EQ(cfg.unknownFlags()[0], "theads");
+    EXPECT_EQ(cfg.getInt("theads", 0), 4);
+    EXPECT_EQ(cfg.getInt("train", 0), 100);
+}
+
+TEST(Config, KnownFlagsDoNotWarn)
+{
+    Config cfg;
+    const char *argv[] = {"prog", "--threads=2", "--stats-dump",
+                          "--trace=out.json", "--quick"};
+    cfg.parseArgs(5, const_cast<char **>(argv));
+    EXPECT_TRUE(cfg.unknownFlags().empty());
+    EXPECT_EQ(cfg.getInt("threads", 0), 2);
+    EXPECT_TRUE(cfg.getBool("quick", false));
+}
+
+TEST(Config, RegisteredFlagSuppressesWarning)
+{
+    Config::registerKnownFlag("my-bench-flag");
+    Config cfg;
+    const char *argv[] = {"prog", "--my-bench-flag=7"};
+    cfg.parseArgs(2, const_cast<char **>(argv));
+    EXPECT_TRUE(cfg.unknownFlags().empty());
+    EXPECT_EQ(cfg.getInt("my_bench_flag", 0), 7);
+}
+
+TEST(Config, UnknownFlagListResetsPerParse)
+{
+    Config cfg;
+    const char *bad[] = {"prog", "--no-such-thing"};
+    cfg.parseArgs(2, const_cast<char **>(bad));
+    EXPECT_EQ(cfg.unknownFlags().size(), 1u);
+    const char *good[] = {"prog", "--quick"};
+    cfg.parseArgs(2, const_cast<char **>(good));
+    EXPECT_TRUE(cfg.unknownFlags().empty());
+}
+
+TEST(Config, PlainKeyValueNeverWarns)
+{
+    Config cfg;
+    // Undashed key=value pairs are the benches' open namespace; they
+    // must stay exempt from the known-flag check.
+    const char *argv[] = {"prog", "theads=4", "exotic_knob=yes"};
+    cfg.parseArgs(3, const_cast<char **>(argv));
+    EXPECT_TRUE(cfg.unknownFlags().empty());
+    EXPECT_EQ(cfg.getInt("theads", 0), 4);
+}
+
 TEST(Config, ParseEnvPicksUpPrefixedVars)
 {
     ::setenv("NEURO_TESTKEY", "77", 1);

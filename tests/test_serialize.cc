@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <unistd.h>
 
 #include "neuro/common/rng.h"
 #include "neuro/common/serialize.h"
@@ -65,7 +66,129 @@ TEST(Archive, RejectsGarbageFile)
     Archive archive;
     archive.putScalar("keep", 1.0);
     EXPECT_FALSE(archive.load(path));
+    EXPECT_NE(archive.lastError().find("bad magic"), std::string::npos)
+        << archive.lastError();
     EXPECT_TRUE(archive.has("keep")) << "failed load must not clobber";
+    std::remove(path.c_str());
+}
+
+namespace {
+
+/** Write a valid two-record archive to @p path; @return its size. */
+long
+writeValidArchive(const std::string &path)
+{
+    Archive archive;
+    archive.putFloats("weights", std::vector<float>(64, 1.5f));
+    archive.putInts("layers", {784, 100, 10});
+    EXPECT_TRUE(archive.save(path));
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    return size;
+}
+
+/** Overwrite one byte of the file at @p offset. */
+void
+patchByte(const std::string &path, long offset, char value)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    std::fputc(value, f);
+    std::fclose(f);
+}
+
+} // namespace
+
+TEST(Archive, MissingFileReportsError)
+{
+    Archive archive;
+    EXPECT_FALSE(archive.load("/tmp/neuro_no_such_file.ncmp"));
+    EXPECT_NE(archive.lastError().find("cannot open"),
+              std::string::npos)
+        << archive.lastError();
+    // A later success clears the error.
+    const std::string path = "/tmp/neuro_test_clear_error.ncmp";
+    writeValidArchive(path);
+    EXPECT_TRUE(archive.load(path));
+    EXPECT_TRUE(archive.lastError().empty());
+    std::remove(path.c_str());
+}
+
+TEST(Archive, UnsupportedVersionRejected)
+{
+    const std::string path = "/tmp/neuro_test_badversion.ncmp";
+    writeValidArchive(path);
+    patchByte(path, 4, 9); // version word follows the 4-byte magic.
+    Archive archive;
+    EXPECT_FALSE(archive.load(path));
+    EXPECT_NE(archive.lastError().find("unsupported version"),
+              std::string::npos)
+        << archive.lastError();
+    std::remove(path.c_str());
+}
+
+TEST(Archive, TruncatedPayloadRejected)
+{
+    const std::string path = "/tmp/neuro_test_truncated.ncmp";
+    const long size = writeValidArchive(path);
+    ASSERT_GT(size, 16);
+    ASSERT_EQ(::truncate(path.c_str(),
+                         static_cast<off_t>(size - 12)), 0);
+    Archive archive;
+    archive.putScalar("keep", 2.0);
+    EXPECT_FALSE(archive.load(path));
+    EXPECT_FALSE(archive.lastError().empty());
+    EXPECT_TRUE(archive.has("keep")) << "failed load must not clobber";
+    std::remove(path.c_str());
+}
+
+TEST(Archive, TruncatedHeaderRejected)
+{
+    const std::string path = "/tmp/neuro_test_shortheader.ncmp";
+    writeValidArchive(path);
+    ASSERT_EQ(::truncate(path.c_str(), 6), 0); // magic + half a version.
+    Archive archive;
+    EXPECT_FALSE(archive.load(path));
+    EXPECT_NE(archive.lastError().find("truncated header"),
+              std::string::npos)
+        << archive.lastError();
+    std::remove(path.c_str());
+}
+
+TEST(Archive, OversizedElementCountRejected)
+{
+    // A record claiming far more elements than the file holds must be
+    // rejected by the size check, not attempted as an allocation.
+    const std::string path = "/tmp/neuro_test_hugecount.ncmp";
+    writeValidArchive(path);
+    // The first record is "layers" (maps iterate float-then-int; the
+    // float map holds "weights", written first): patch the low bytes
+    // of its u64 element count, which sits after the 4-byte name
+    // length + 7-byte name + 1-byte tag.
+    const long countOffset = 4 + 4 + 4 + 4 + 7 + 1;
+    patchByte(path, countOffset + 3, 0x7f); // ~2^30 elements.
+    Archive archive;
+    EXPECT_FALSE(archive.load(path));
+    EXPECT_NE(archive.lastError().find("claims"), std::string::npos)
+        << archive.lastError();
+    std::remove(path.c_str());
+}
+
+TEST(Archive, UnknownTypeTagRejected)
+{
+    const std::string path = "/tmp/neuro_test_badtag.ncmp";
+    writeValidArchive(path);
+    const long tagOffset = 4 + 4 + 4 + 4 + 7; // tag byte of "weights".
+    patchByte(path, tagOffset, 42);
+    Archive archive;
+    EXPECT_FALSE(archive.load(path));
+    EXPECT_NE(archive.lastError().find("unknown type tag"),
+              std::string::npos)
+        << archive.lastError();
     std::remove(path.c_str());
 }
 

@@ -8,6 +8,7 @@
  *   neurocmp sweep      what=neurons|slope|coding  # Figures 8/6/14
  *   neurocmp train-snn  save=model.ncmp [train=N]  # train + save
  *   neurocmp eval-snn   load=model.ncmp [test=N]   # load + evaluate
+ *   neurocmp serve      load=model.ncmp [requests=N batch=B]  # serving
  *   neurocmp stats      [train=N test=N]           # observability demo
  *
  * All subcommands accept key=value overrides and NEURO_* environment
@@ -19,8 +20,10 @@
  * every bench binary, no flags are needed (see docs/observability.md).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <iostream>
 
 #include "neuro/common/config.h"
@@ -37,6 +40,8 @@
 #include "neuro/cycle/folded_mlp_sim.h"
 #include "neuro/cycle/folded_snn_sim.h"
 #include "neuro/mlp/backprop.h"
+#include "neuro/serve/registry.h"
+#include "neuro/serve/server.h"
 #include "neuro/snn/serialize.h"
 
 namespace {
@@ -54,6 +59,11 @@ cmdList()
         "(Fig 14)\n"
         "  train-snn  train SNN+STDP and save to save=<path>\n"
         "  eval-snn   evaluate a saved model from load=<path>\n"
+        "  serve      batched inference serving of a saved model:\n"
+        "             load=<path> [backend=model|model.q8|model.wot]\n"
+        "             [requests=N seed=S batch=B wait_us=U capacity=C\n"
+        "             deadline_us=D slo_us=P fallback=0|1 inflight=K]\n"
+        "             (docs/serving.md)\n"
         "  stats      run a small instrumented train + folded-sim demo\n"
         "             and dump the profiler registry\n"
         "common options: train=N test=N workload=mnist|mpeg7|sad, and\n"
@@ -252,7 +262,7 @@ cmdEvalSnn(const Config &cfg)
         fatal("eval-snn needs load=<path>");
     Archive archive;
     if (!archive.load(path))
-        fatal("cannot read '%s'", path.c_str());
+        fatal("cannot read model: %s", archive.lastError().c_str());
     auto model = snn::loadSnn(archive);
     if (!model)
         fatal("'%s' is not a saved SNN model", path.c_str());
@@ -268,6 +278,145 @@ cmdEvalSnn(const Config &cfg)
                 "readouts)\n",
                 path.c_str(), w.name.c_str(), result.accuracy * 100.0,
                 result.silent);
+    return 0;
+}
+
+/**
+ * Closed-loop serving demo: load a checkpoint into the model registry,
+ * stand up the micro-batching server over the chosen backend, replay
+ * the workload's test set as a request trace with a bounded number of
+ * requests in flight, and report throughput, latency percentiles and
+ * the serving counters (docs/serving.md).
+ */
+int
+cmdServe(const Config &cfg)
+{
+    const std::string path = cfg.getString("load", "");
+    if (path.empty())
+        fatal("serve needs load=<path> (e.g. from train-snn save=...)");
+
+    serve::ModelRegistry registry;
+    std::string error;
+    if (registry.loadFile("model", path, &error).empty())
+        fatal("cannot serve model: %s", error.c_str());
+
+    const std::string backendName = cfg.getString("backend", "model");
+    std::shared_ptr<serve::InferenceBackend> backend =
+        registry.find(backendName);
+    if (backend == nullptr) {
+        std::string known;
+        for (const std::string &n : registry.names())
+            known += (known.empty() ? "" : ", ") + n;
+        fatal("unknown backend '%s' (this checkpoint provides: %s)",
+              backendName.c_str(), known.c_str());
+    }
+
+    const core::Workload w = loadWorkload(cfg);
+    NEURO_ASSERT(w.data.test.inputSize() == backend->inputSize(),
+                 "model expects %zu pixels, %s test images have %zu",
+                 backend->inputSize(), w.name.c_str(),
+                 w.data.test.inputSize());
+
+    serve::ServeConfig sc;
+    sc.queueCapacity =
+        static_cast<std::size_t>(cfg.getInt("capacity", 1024));
+    sc.batch.maxBatch = static_cast<std::size_t>(cfg.getInt("batch", 8));
+    sc.batch.maxWaitMicros = cfg.getInt("wait_us", 200);
+    sc.sloP99Micros = cfg.getInt("slo_us", 0);
+    sc.enableFallback = cfg.getInt("fallback", 0) != 0;
+
+    // The fallback is the checkpoint's cheaper sibling backend: the
+    // first registered name that isn't the primary (model.wot for an
+    // SNN primary, model.q8 for an MLP one, "model" otherwise).
+    std::shared_ptr<serve::InferenceBackend> fallback;
+    if (sc.enableFallback) {
+        for (const std::string &n : registry.names()) {
+            if (n != backendName) {
+                fallback = registry.find(n);
+                inform("serve: SLO fallback backend is '%s'", n.c_str());
+                break;
+            }
+        }
+        if (fallback == nullptr)
+            fatal("fallback=1 but the checkpoint provides no second "
+                  "backend");
+    }
+
+    const auto requests =
+        static_cast<uint64_t>(cfg.getInt("requests", 2000));
+    const auto seed = static_cast<uint64_t>(cfg.getInt("seed", 99));
+    const long deadlineUs = cfg.getInt("deadline_us", 0);
+    const auto inflight = static_cast<std::size_t>(cfg.getInt(
+        "inflight", static_cast<long>(4 * sc.batch.maxBatch)));
+
+    serve::InferenceServer server(backend, sc, fallback);
+    uint64_t ok = 0, rejected = 0, expired = 0;
+    std::deque<std::future<serve::InferenceResult>> pending;
+    auto consumeOne = [&] {
+        const serve::InferenceResult r = pending.front().get();
+        pending.pop_front();
+        switch (r.status) {
+        case serve::RequestStatus::Ok: ++ok; break;
+        case serve::RequestStatus::Rejected: ++rejected; break;
+        case serve::RequestStatus::Expired: ++expired; break;
+        }
+    };
+
+    const auto t0 = serve::ServeClock::now();
+    for (uint64_t id = 0; id < requests; ++id) {
+        serve::InferenceRequest request;
+        request.id = id;
+        request.pixels =
+            w.data.test[id % w.data.test.size()].pixels;
+        request.streamSeed = deriveStreamSeed(seed, id);
+        if (deadlineUs > 0)
+            request.deadline = serve::ServeClock::now() +
+                               std::chrono::microseconds(deadlineUs);
+        pending.push_back(server.submit(std::move(request)));
+        while (pending.size() >= inflight)
+            consumeOne();
+    }
+    while (!pending.empty())
+        consumeOne();
+    server.stop();
+    const double wallS = std::chrono::duration<double>(
+                             serve::ServeClock::now() - t0)
+                             .count();
+
+    const serve::ServeCounters counters = server.counters();
+    const serve::LatencyHistogram::Summary lat =
+        server.latency().summary();
+    TextTable table("serving summary (" + backendName + " on " + w.name +
+                    ")");
+    table.setHeader({"Metric", "Value"});
+    table.addRow({"requests", TextTable::num(
+                                  static_cast<long long>(requests))});
+    table.addRow({"completed",
+                  TextTable::num(static_cast<long long>(ok))});
+    table.addRow({"rejected",
+                  TextTable::num(static_cast<long long>(rejected))});
+    table.addRow({"expired",
+                  TextTable::num(static_cast<long long>(expired))});
+    table.addRow({"batches", TextTable::num(static_cast<long long>(
+                                 counters.batches))});
+    table.addRow(
+        {"avg batch",
+         TextTable::fmt(counters.batches == 0
+                            ? 0.0
+                            : static_cast<double>(counters.completed +
+                                                  counters.expired) /
+                                  static_cast<double>(counters.batches),
+                        2)});
+    table.addRow({"throughput (req/s)",
+                  TextTable::fmt(static_cast<double>(ok) / wallS, 1)});
+    table.addRow({"p50 (us)", TextTable::fmt(lat.p50Us, 0)});
+    table.addRow({"p95 (us)", TextTable::fmt(lat.p95Us, 0)});
+    table.addRow({"p99 (us)", TextTable::fmt(lat.p99Us, 0)});
+    table.addRow({"max (us)", TextTable::fmt(lat.maxUs, 0)});
+    table.addRow({"fallback served",
+                  TextTable::num(static_cast<long long>(
+                      counters.fallbacks))});
+    table.print(std::cout);
     return 0;
 }
 
@@ -295,6 +444,8 @@ main(int argc, char **argv)
         return cmdTrainSnn(cfg);
     if (std::strcmp(cmd, "eval-snn") == 0)
         return cmdEvalSnn(cfg);
+    if (std::strcmp(cmd, "serve") == 0)
+        return cmdServe(cfg);
     if (std::strcmp(cmd, "stats") == 0)
         return cmdStats(cfg);
     warn("unknown subcommand '%s'", cmd);
