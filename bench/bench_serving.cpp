@@ -12,13 +12,19 @@
  *    amortizes across a full batch fanned out over the worker pool.
  *
  * Both modes run at 1 and 4 worker threads and report throughput plus
- * p50/p95/p99 latency as a table and bench_serving.csv. The trace is
- * fixed (seeded stream seeds per request id), and the bench aborts if
- * any mode/worker combination disagrees with the first run's
- * predictions — the serving determinism contract, checked end to end.
+ * p50/p95/p99 latency as a table and bench_serving.csv. End-to-end
+ * latency is also decomposed into the pipeline stages tracked by the
+ * telemetry layer — queue (admission -> dequeue), batch (dequeue ->
+ * compute start) and compute (backend -> completion) — with per-stage
+ * percentiles in a second table and in the CSV. The trace is fixed
+ * (seeded stream seeds per request id), and the bench aborts if any
+ * mode/worker combination disagrees with the first run's predictions
+ * — the serving determinism contract, checked end to end.
  *
  * Knobs: requests=N train=N test=N hidden=H batch=B inflight=K
- * threads=a,b quick=1 (also NEURO_SCALE / NEURO_THREADS).
+ * threads=a,b quick=1 (also NEURO_SCALE / NEURO_THREADS; set
+ * NEURO_METRICS=<path> to export the metric registry at exit,
+ * docs/observability.md).
  */
 
 #include <chrono>
@@ -53,6 +59,9 @@ struct RunResult
     uint64_t completed = 0;
     uint64_t batches = 0;
     serve::LatencyHistogram::Summary lat;
+    serve::LatencyHistogram::Summary stageQueue;
+    serve::LatencyHistogram::Summary stageBatch;
+    serve::LatencyHistogram::Summary stageCompute;
     std::vector<int> classes; ///< per-request predictions (trace order).
 
     double throughput() const
@@ -65,12 +74,18 @@ struct RunResult
 RunResult
 runTrace(const std::shared_ptr<serve::InferenceBackend> &backend,
          const datasets::Dataset &test, uint64_t requests,
-         std::size_t maxBatch, std::size_t inflight, uint64_t seed)
+         std::size_t maxBatch, std::size_t inflight, uint64_t seed,
+         bool traceRequests = false)
 {
+    // The stage histograms are registry-owned and accumulate across
+    // servers; zero them so this run's percentiles are its own.
+    serve::InferenceServer::resetStageMetrics();
+
     serve::ServeConfig sc;
     sc.queueCapacity = inflight + maxBatch; // closed loop never rejects.
     sc.batch.maxBatch = maxBatch;
     sc.batch.maxWaitMicros = 200;
+    sc.traceRequests = traceRequests;
     serve::InferenceServer server(backend, sc);
 
     RunResult out;
@@ -114,6 +129,10 @@ runTrace(const std::shared_ptr<serve::InferenceBackend> &backend,
     out.completed = server.counters().completed;
     out.batches = server.counters().batches;
     out.lat = server.latency().summary();
+    out.stageQueue = server.stageLatency(serve::Stage::Queue).summary();
+    out.stageBatch = server.stageLatency(serve::Stage::Batch).summary();
+    out.stageCompute =
+        server.stageLatency(serve::Stage::Compute).summary();
     return out;
 }
 
@@ -135,6 +154,8 @@ main(int argc, char **argv)
         static_cast<std::size_t>(cfg.getInt("batch", 256));
     const auto inflight = static_cast<std::size_t>(
         cfg.getInt("inflight", static_cast<long>(4 * maxBatch)));
+    // Per-request async spans in the Chrome trace (needs --trace=).
+    const bool traceRequests = cfg.getInt("trace_requests", 0) != 0;
 
     const core::Workload w = core::makeMnistWorkload(train, test, 1);
 
@@ -187,10 +208,17 @@ main(int argc, char **argv)
     TextTable table("serving throughput: batched vs single-request");
     table.setHeader({"Mode", "Workers", "Req/s", "p50 (us)", "p95 (us)",
                      "p99 (us)", "Speedup"});
+    TextTable stageTable(
+        "per-stage latency decomposition (serve.stage.*)");
+    stageTable.setHeader({"Mode", "Workers", "Stage", "p50 (us)",
+                          "p95 (us)", "p99 (us)"});
     CsvWriter csv("bench_serving.csv",
                   {"mode", "workers", "max_batch", "inflight",
                    "requests", "throughput_req_s", "p50_us", "p95_us",
-                   "p99_us", "speedup_vs_single"});
+                   "p99_us", "speedup_vs_single", "queue_p50_us",
+                   "queue_p95_us", "queue_p99_us", "batch_p50_us",
+                   "batch_p95_us", "batch_p99_us", "compute_p50_us",
+                   "compute_p95_us", "compute_p99_us"});
 
     const uint64_t seed = 99;
     std::vector<int> reference;
@@ -201,9 +229,10 @@ main(int argc, char **argv)
         runTrace(backend, w.data.test, std::min<uint64_t>(requests, 256),
                  maxBatch, inflight, seed);
         const RunResult single = runTrace(backend, w.data.test, requests,
-                                          1, 1, seed);
-        const RunResult batched = runTrace(
-            backend, w.data.test, requests, maxBatch, inflight, seed);
+                                          1, 1, seed, traceRequests);
+        const RunResult batched =
+            runTrace(backend, w.data.test, requests, maxBatch, inflight,
+                     seed, traceRequests);
 
         if (reference.empty())
             reference = single.classes;
@@ -238,6 +267,19 @@ main(int argc, char **argv)
                  TextTable::fmt(row.r->lat.p95Us, 0),
                  TextTable::fmt(row.r->lat.p99Us, 0),
                  TextTable::fmt(row.speedup, 2)});
+            const std::pair<const char *,
+                            const serve::LatencyHistogram::Summary *>
+                stages[] = {{"queue", &row.r->stageQueue},
+                            {"batch", &row.r->stageBatch},
+                            {"compute", &row.r->stageCompute}};
+            for (const auto &[stageName, stage] : stages) {
+                stageTable.addRow(
+                    {row.mode,
+                     TextTable::num(static_cast<long long>(workers)),
+                     stageName, TextTable::fmt(stage->p50Us, 0),
+                     TextTable::fmt(stage->p95Us, 0),
+                     TextTable::fmt(stage->p99Us, 0)});
+            }
             csv.writeRow(std::vector<std::string>{
                 row.mode, std::to_string(workers),
                 std::to_string(row.maxBatch),
@@ -247,7 +289,16 @@ main(int argc, char **argv)
                 TextTable::fmt(row.r->lat.p50Us, 0),
                 TextTable::fmt(row.r->lat.p95Us, 0),
                 TextTable::fmt(row.r->lat.p99Us, 0),
-                TextTable::fmt(row.speedup, 2)});
+                TextTable::fmt(row.speedup, 2),
+                TextTable::fmt(row.r->stageQueue.p50Us, 0),
+                TextTable::fmt(row.r->stageQueue.p95Us, 0),
+                TextTable::fmt(row.r->stageQueue.p99Us, 0),
+                TextTable::fmt(row.r->stageBatch.p50Us, 0),
+                TextTable::fmt(row.r->stageBatch.p95Us, 0),
+                TextTable::fmt(row.r->stageBatch.p99Us, 0),
+                TextTable::fmt(row.r->stageCompute.p50Us, 0),
+                TextTable::fmt(row.r->stageCompute.p95Us, 0),
+                TextTable::fmt(row.r->stageCompute.p99Us, 0)});
         }
     }
     setParallelThreadCount(1);
@@ -257,6 +308,9 @@ main(int argc, char **argv)
     table.addNote("identical predictions across every mode and worker "
                   "count (fixed trace, per-request stream seeds)");
     table.print(std::cout);
+    stageTable.addNote("queue + batch + compute ~= end-to-end latency "
+                       "(per-request, docs/observability.md)");
+    stageTable.print(std::cout);
     std::cout << "RESULT: batched/single speedup at 4 workers = "
               << TextTable::fmt(batchedOverSingleAt4, 2) << "x\n";
     return 0;

@@ -1,25 +1,59 @@
 #include "neuro/common/profile.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "neuro/common/config.h"
 #include "neuro/common/logging.h"
+#include "neuro/telemetry/telemetry.h"
 
 namespace neuro {
 
 namespace {
 
-/** Flush sinks when the process ends (registered at most once). */
+/** One registered shutdown step (see addObservabilityExitHook). */
+struct ExitHook
+{
+    int priority = 0;
+    std::size_t seq = 0; ///< registration order, for stable ties.
+    std::function<void()> fn;
+};
+
+std::mutex &
+exitHookMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::vector<ExitHook> &
+exitHooks()
+{
+    // Leaked so late registrations during exit never touch a
+    // destroyed vector.
+    static std::vector<ExitHook> *hooks = new std::vector<ExitHook>();
+    return *hooks;
+}
+
+/** Run every registered hook in priority order (registered once). */
 void
 observabilityAtExit()
 {
-    if (Profiler::enabled())
-        // The process is exiting: logging may already be torn down,
-        // and stderr is the documented sink for NEURO_STATS_DUMP.
-        // neurolint: allow(R3)
-        Profiler::instance().dump(std::cerr);
-    Tracer::instance().stop();
+    std::vector<ExitHook> hooks;
+    {
+        std::lock_guard<std::mutex> lock(exitHookMutex());
+        hooks = exitHooks();
+    }
+    std::stable_sort(hooks.begin(), hooks.end(),
+                     [](const ExitHook &a, const ExitHook &b) {
+                         return a.priority < b.priority;
+                     });
+    for (const ExitHook &hook : hooks)
+        hook.fn();
 }
 
 void
@@ -29,6 +63,18 @@ registerAtExitOnce()
     if (registered)
         return;
     registered = true;
+    // Built-in shutdown steps. The telemetry flush registers itself at
+    // priority 10 when NEURO_METRICS / --metrics is active, so the
+    // full sequence is: metrics flush, stats dump, trace finalizer.
+    addObservabilityExitHook(20, [] {
+        if (Profiler::enabled())
+            // The process is exiting: logging may already be torn
+            // down, and stderr is the documented sink for
+            // NEURO_STATS_DUMP.
+            // neurolint: allow(R3)
+            Profiler::instance().dump(std::cerr);
+    });
+    addObservabilityExitHook(30, [] { Tracer::instance().stop(); });
     std::atexit(observabilityAtExit);
 }
 
@@ -53,6 +99,19 @@ struct EnvObservabilityInit
         } else if (any) {
             // A trace without timings is half a story; keep them in sync.
             Profiler::instance().setEnabled(true);
+        }
+        const char *metrics = std::getenv("NEURO_METRICS");
+        if (metrics && *metrics) {
+            telemetry::TelemetryConfig tcfg;
+            tcfg.path = metrics;
+            const char *period =
+                std::getenv("NEURO_METRICS_PERIOD_MS");
+            if (period && *period) {
+                const long long ms = std::strtoll(period, nullptr, 10);
+                if (ms >= 1)
+                    tcfg.periodMillis = ms;
+            }
+            telemetry::startGlobalTelemetry(tcfg);
         }
         if (any)
             registerAtExitOnce();
@@ -163,8 +222,26 @@ initObservability(const Config &cfg)
         Profiler::instance().setEnabled(true);
         any = true;
     }
+    const std::string metrics = cfg.getString("metrics", "");
+    if (!metrics.empty()) {
+        telemetry::TelemetryConfig tcfg;
+        tcfg.path = metrics;
+        const int64_t ms = cfg.getInt("metrics_period_ms", 100);
+        if (ms >= 1)
+            tcfg.periodMillis = ms;
+        telemetry::startGlobalTelemetry(tcfg);
+    }
     if (any)
         registerAtExitOnce();
+}
+
+void
+addObservabilityExitHook(int priority, std::function<void()> hook)
+{
+    registerAtExitOnce();
+    std::lock_guard<std::mutex> lock(exitHookMutex());
+    auto &hooks = exitHooks();
+    hooks.push_back({priority, hooks.size(), std::move(hook)});
 }
 
 } // namespace neuro

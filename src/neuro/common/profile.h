@@ -21,9 +21,14 @@
  * When both the profiler and the tracer are disabled (the default) a
  * scope costs two relaxed atomic loads and records nothing; counters
  * cost one. Enable collection programmatically, with the config keys
- * `trace=<path>` / `stats_dump=1` via initObservability(), or with the
- * NEURO_TRACE / NEURO_STATS_DUMP environment variables, which work in
- * any binary linking neuro_common with no code changes.
+ * `trace=<path>` / `stats_dump=1` / `metrics=<path>` via
+ * initObservability(), or with the NEURO_TRACE / NEURO_STATS_DUMP /
+ * NEURO_METRICS environment variables, which work in any binary
+ * linking neuro_common with no code changes.
+ *
+ * All observability shutdown work runs through one prioritized atexit
+ * sequence (addObservabilityExitHook): metrics flush (10), stats dump
+ * (20), trace finalizer (30).
  */
 
 #pragma once
@@ -31,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 
@@ -167,10 +173,24 @@ void obsSample(const char *name, double v);
  * the Chrome-trace sink, `stats_dump=1` (or any truthy value) enables
  * the profiler and dumps its registry to stderr at process exit; a
  * trace also enables the profiler so scope timings and the trace
- * agree. The CLI exposes these as --trace=<path> / --stats-dump, and
- * parseEnv() maps NEURO_TRACE / NEURO_STATS_DUMP onto the same keys.
+ * agree. `metrics=<path>` starts the global telemetry sampler
+ * (telemetry/telemetry.h) with period `metrics_period_ms`. The CLI
+ * exposes these as --trace=<path> / --stats-dump / --metrics=<path>,
+ * and parseEnv() maps NEURO_TRACE / NEURO_STATS_DUMP / NEURO_METRICS
+ * onto the same keys.
  */
 void initObservability(const Config &cfg);
+
+/**
+ * Register @p hook to run once when the process exits, ordered by
+ * ascending @p priority (ties run in registration order). The
+ * built-in sequence is: telemetry flush (priority 10), stats dump
+ * (20), trace finalizer (30) — a single std::atexit handler drives
+ * all of them, so the relative order is fixed no matter which sink
+ * was enabled first.
+ */
+void addObservabilityExitHook(int priority,
+                              std::function<void()> hook);
 
 } // namespace neuro
 

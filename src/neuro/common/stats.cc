@@ -1,9 +1,37 @@
 #include "neuro/common/stats.h"
 
 #include <cmath>
-#include <iomanip>
+#include <cstdio>
 
 namespace neuro {
+
+namespace {
+
+/**
+ * Fixed %.6g formatting, independent of any std::ostream state the
+ * caller left behind (width/precision/floatfield): the dump is a
+ * machine-diffable artifact (CI golden tests, run-to-run comparison),
+ * so its bytes must depend on the data only.
+ */
+std::string
+formatValue(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** Left-pad @p name to the traditional 40-column value alignment. */
+std::string
+padName(const std::string &name)
+{
+    std::string out = name;
+    if (out.size() < 40)
+        out.append(40 - out.size(), ' ');
+    return out;
+}
+
+} // namespace
 
 void
 Distribution::sample(double v)
@@ -95,16 +123,21 @@ StatRegistry::reset()
 void
 StatRegistry::dump(std::ostream &os) const
 {
+    // Deterministic layout: every line is produced with fixed %.6g
+    // formatting and the std::maps iterate in sorted key order, so two
+    // runs that collected the same statistics emit identical bytes.
     os << "---------- stats ----------\n";
     for (const auto &[name, v] : counters_)
-        os << std::left << std::setw(40) << name << v << "\n";
+        os << padName(name) << v << "\n";
     for (const auto &[name, v] : scalars_)
-        os << std::left << std::setw(40) << name << v << "\n";
+        os << padName(name) << formatValue(v) << "\n";
     for (const auto &[name, d] : distributions_) {
-        os << std::left << std::setw(40) << name << "n=" << d.count()
-           << " total=" << d.sum() << " mean=" << d.mean()
-           << " sd=" << d.stddev() << " min=" << d.min()
-           << " max=" << d.max() << "\n";
+        os << padName(name) << "n=" << d.count()
+           << " total=" << formatValue(d.sum())
+           << " mean=" << formatValue(d.mean())
+           << " sd=" << formatValue(d.stddev())
+           << " min=" << formatValue(d.min())
+           << " max=" << formatValue(d.max()) << "\n";
     }
     os << "---------------------------\n";
 }

@@ -63,6 +63,7 @@ Tracer::start(const std::string &path)
     }
     std::fputs("[\n", out_);
     firstEvent_ = true;
+    eventsSinceFlush_ = 0;
     epoch_ = std::chrono::steady_clock::now();
     active_.store(true, std::memory_order_relaxed);
     return true;
@@ -89,7 +90,7 @@ Tracer::elapsedUs() const
 
 void
 Tracer::emitLocked(const char *name, const char *cat, char phase,
-                   const char *extra)
+                   const char *extra, double tsUs)
 {
     if (!out_)
         return;
@@ -99,8 +100,15 @@ Tracer::emitLocked(const char *name, const char *cat, char phase,
     std::fprintf(out_,
                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
                  "\"ts\":%.3f,\"pid\":1,\"tid\":%d%s}",
-                 jsonEscape(name).c_str(), cat, phase, elapsedUs(),
-                 currentTid(), extra);
+                 jsonEscape(name).c_str(), cat, phase,
+                 tsUs < 0.0 ? elapsedUs() : tsUs, currentTid(), extra);
+    // Crash safety: a process that dies mid-run still leaves a
+    // mostly-complete trace on disk (bounded staleness, not per-event
+    // flushing — that would dominate the emit cost).
+    if (++eventsSinceFlush_ >= 128) {
+        eventsSinceFlush_ = 0;
+        std::fflush(out_);
+    }
 }
 
 void
@@ -132,6 +140,23 @@ Tracer::counter(const char *name, double value)
                   value);
     std::lock_guard<std::mutex> lock(mutex_);
     emitLocked(name, "counter", 'C', extra);
+}
+
+void
+Tracer::asyncSpan(const char *name, const char *cat, char phase,
+                  uint64_t id,
+                  std::chrono::steady_clock::time_point when)
+{
+    char extra[48];
+    std::snprintf(extra, sizeof(extra), ",\"id\":\"0x%" PRIx64 "\"",
+                  id);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double tsUs =
+        std::chrono::duration<double, std::micro>(when - epoch_)
+            .count();
+    // Clamp to the trace epoch: a span boundary captured before
+    // start() would otherwise render with a negative timestamp.
+    emitLocked(name, cat, phase, extra, tsUs < 0.0 ? 0.0 : tsUs);
 }
 
 } // namespace neuro

@@ -9,7 +9,11 @@
  * - instant events marking a point in time (a neuron fired, an SRAM
  *   array was built);
  * - counter events plotting a numeric series over time (spikes per
- *   tick, cumulative SRAM reads, event-queue depth).
+ *   tick, cumulative SRAM reads, event-queue depth);
+ * - async span events ('b'/'e' with an id) tracking one logical
+ *   operation — e.g. one inference request — across threads and
+ *   queues, with explicit (possibly backdated) timestamps captured
+ *   where the stage boundary actually happened.
  *
  * Tracing is off by default and costs one relaxed atomic load per
  * call site. Start it explicitly with Tracer::instance().start(path),
@@ -20,13 +24,17 @@
  * Events are written one per line inside a JSON array; the writer is
  * thread-safe and timestamps (microseconds since start()) are taken
  * under the same lock that orders the writes, so file order is
- * timestamp order.
+ * timestamp order (async span events may carry earlier, backdated
+ * timestamps — Perfetto sorts by ts, not file order). The stream is
+ * fflush()ed every ~128 events so a crashed process still leaves a
+ * mostly-complete trace (append a closing `]` by hand to load it).
  */
 
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -69,6 +77,17 @@ class Tracer
     /** Emit a counter event: plots @p value on the series @p name. */
     void counter(const char *name, double value);
 
+    /**
+     * Emit an async-span event: @p phase is 'b' (span begin) or 'e'
+     * (span end); events with the same @p id pair up into one span
+     * lane regardless of which thread emits them. @p when is the
+     * moment the boundary actually happened — it may predate the call
+     * (a stage recorded after the fact), and must not predate start().
+     */
+    void asyncSpan(const char *name, const char *cat, char phase,
+                   uint64_t id,
+                   std::chrono::steady_clock::time_point when);
+
     ~Tracer();
 
   private:
@@ -76,9 +95,11 @@ class Tracer
     Tracer(const Tracer &) = delete;
     Tracer &operator=(const Tracer &) = delete;
 
-    /** Serialize one event line; assumes mutex_ is held. */
+    /** Serialize one event line; assumes mutex_ is held. @p tsUs is
+     *  the event timestamp (us since start()), or a negative value to
+     *  stamp "now". */
     void emitLocked(const char *name, const char *cat, char phase,
-                    const char *extra);
+                    const char *extra, double tsUs = -1.0);
 
     /** Microseconds since start(); assumes mutex_ is held. */
     double elapsedUs() const;
@@ -87,6 +108,7 @@ class Tracer
     std::mutex mutex_;
     std::FILE *out_ = nullptr;
     bool firstEvent_ = true;
+    int eventsSinceFlush_ = 0;
     std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -93,6 +93,8 @@ MicroBatcher::nextBatch(int64_t idleTimeoutMicros)
     auto take = [&] {
         batch.push_back(std::move(queue_.items_.front()));
         queue_.items_.pop_front();
+        // End of the request's queue stage / start of batch assembly.
+        batch.back().dequeueTime = ServeClock::now();
     };
     take();
     auto fillUntil =

@@ -56,7 +56,14 @@ struct InferenceRequest
     ServeClock::time_point deadline = ServeClock::time_point::max();
 };
 
-/** What the server hands back through the request's future. */
+/**
+ * What the server hands back through the request's future. The three
+ * stage timings decompose totalMicros along the pipeline the request
+ * travelled: queue (enqueue -> dequeued by the batcher), batch
+ * (dequeue -> the formed batch starts computing) and compute (backend
+ * start -> completion); the same decomposition feeds the
+ * `serve.stage.*` telemetry histograms (docs/observability.md).
+ */
 struct InferenceResult
 {
     uint64_t id = 0;
@@ -64,16 +71,21 @@ struct InferenceResult
     int classIndex = -1;        ///< predicted class (Ok only).
     bool usedFallback = false;  ///< served by the SLO-fallback backend.
     uint32_t batchSize = 0;     ///< size of the batch it rode in.
-    double queueMicros = 0.0;   ///< enqueue -> batch formation.
+    double queueMicros = 0.0;   ///< enqueue -> dequeued for batching.
+    double batchMicros = 0.0;   ///< dequeue -> batch compute start.
+    double computeMicros = 0.0; ///< backend compute -> completion.
     double totalMicros = 0.0;   ///< enqueue -> completion.
 };
 
-/** A queued request plus its completion promise and arrival stamp. */
+/** A queued request plus its completion promise and stage stamps. */
 struct PendingRequest
 {
     InferenceRequest request;
     std::promise<InferenceResult> promise;
     ServeClock::time_point enqueueTime;
+    /** When the batcher pulled the request off the queue (set by
+     *  MicroBatcher::nextBatch; start of its batch-assembly stage). */
+    ServeClock::time_point dequeueTime;
 };
 
 /** Bounded, closeable MPMC request queue. */

@@ -52,6 +52,25 @@ InferenceServer::InferenceServer(
       batcher_(queue_, config.batch), primarySessions_(*primary_)
 {
     NEURO_ASSERT(primary_ != nullptr, "serve: primary backend required");
+    // Resolve every registry handle once; the hot path then pays one
+    // relaxed atomic per update with no name lookups.
+    auto &reg = telemetry::MetricRegistry::instance();
+    tm_.stageQueue = reg.histogram("serve.stage.queue");
+    tm_.stageBatch = reg.histogram("serve.stage.batch");
+    tm_.stageCompute = reg.histogram("serve.stage.compute");
+    tm_.latency = reg.histogram("serve.latency");
+    tm_.enqueued = reg.counter("serve.enqueued");
+    tm_.completed = reg.counter("serve.completed");
+    tm_.rejected = reg.counter("serve.rejected");
+    tm_.expired = reg.counter("serve.expired");
+    tm_.batches = reg.counter("serve.batches");
+    tm_.fallbacks = reg.counter("serve.fallbacks");
+    tm_.degradeEnter = reg.counter("serve.slo.degrade_enter");
+    tm_.degradeExit = reg.counter("serve.slo.degrade_exit");
+    tm_.queueDepth = reg.gauge("serve.queue_depth");
+    tm_.inflight = reg.gauge("serve.inflight");
+    tm_.batchOccupancy = reg.gauge("serve.batch_occupancy");
+    tm_.degradedGauge = reg.gauge("serve.degraded");
     if (fallback_ != nullptr) {
         NEURO_ASSERT(fallback_->inputSize() == primary_->inputSize(),
                      "serve: fallback input size %zu != primary %zu",
@@ -83,12 +102,15 @@ InferenceServer::submit(InferenceRequest request)
 
     if (queue_.push(std::move(pending))) {
         enqueued_.fetch_add(1, std::memory_order_relaxed);
+        tm_.enqueued->inc();
+        inflight_.fetch_add(1, std::memory_order_relaxed);
         obsCount("serve.enqueued");
         return future;
     }
     // push() leaves the request untouched on rejection, so the promise
     // is still ours to satisfy.
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    tm_.rejected->inc();
     obsCount("serve.rejected");
     InferenceResult result;
     result.id = pending.request.id;
@@ -121,6 +143,36 @@ InferenceServer::counters() const
     return c;
 }
 
+const LatencyHistogram &
+InferenceServer::stageLatency(Stage stage) const
+{
+    switch (stage) {
+    case Stage::Queue: return *tm_.stageQueue;
+    case Stage::Batch: return *tm_.stageBatch;
+    case Stage::Compute: return *tm_.stageCompute;
+    }
+    return *tm_.stageQueue; // unreachable.
+}
+
+void
+InferenceServer::resetStageMetrics()
+{
+    auto &reg = telemetry::MetricRegistry::instance();
+    reg.histogram("serve.stage.queue")->reset();
+    reg.histogram("serve.stage.batch")->reset();
+    reg.histogram("serve.stage.compute")->reset();
+    reg.histogram("serve.latency")->reset();
+    for (const char *name :
+         {"serve.enqueued", "serve.completed", "serve.rejected",
+          "serve.expired", "serve.batches", "serve.fallbacks",
+          "serve.slo.degrade_enter", "serve.slo.degrade_exit"})
+        reg.counter(name)->reset();
+    for (const char *name :
+         {"serve.queue_depth", "serve.inflight",
+          "serve.batch_occupancy", "serve.degraded"})
+        reg.gauge(name)->reset();
+}
+
 void
 InferenceServer::dispatchLoop()
 {
@@ -138,6 +190,7 @@ InferenceServer::runBatch(std::vector<PendingRequest> &batch)
 {
     NEURO_PROFILE_SCOPE("serve/batch");
     batches_.fetch_add(1, std::memory_order_relaxed);
+    tm_.batches->inc();
     obsCount("serve.batches");
     obsSample("serve.batch_size", static_cast<double>(batch.size()));
 
@@ -151,15 +204,20 @@ InferenceServer::runBatch(std::vector<PendingRequest> &batch)
     for (PendingRequest &pending : batch) {
         if (pending.request.deadline < batchStart) {
             expired_.fetch_add(1, std::memory_order_relaxed);
+            tm_.expired->inc();
             obsCount("serve.expired");
             InferenceResult result;
             result.id = pending.request.id;
             result.status = RequestStatus::Expired;
             result.batchSize = batchSize;
             result.queueMicros =
+                microsBetween(pending.enqueueTime, pending.dequeueTime);
+            result.batchMicros =
+                microsBetween(pending.dequeueTime, batchStart);
+            result.totalMicros =
                 microsBetween(pending.enqueueTime, batchStart);
-            result.totalMicros = result.queueMicros;
             pending.promise.set_value(result);
+            inflight_.fetch_sub(1, std::memory_order_relaxed);
         } else {
             live.push_back(&pending);
         }
@@ -187,6 +245,9 @@ InferenceServer::runBatch(std::vector<PendingRequest> &batch)
     std::size_t grain = (n + workers - 1) / workers;
     grain = (grain + stripSize - 1) / stripSize * stripSize;
     std::vector<int> classes(n, -1);
+    // End of the batch-assembly stage, start of the compute stage, for
+    // every request riding in this batch.
+    const auto computeStart = ServeClock::now();
     parallelForRange(
         std::size_t{0}, n, grain, [&](std::size_t i0, std::size_t i1) {
             std::unique_ptr<BackendSession> session = pool.acquire();
@@ -207,8 +268,11 @@ InferenceServer::runBatch(std::vector<PendingRequest> &batch)
     const auto batchEnd = ServeClock::now();
     if (useFallback) {
         fallbacks_.fetch_add(live.size(), std::memory_order_relaxed);
+        tm_.fallbacks->inc(live.size());
         obsCount("serve.fallbacks", live.size());
     }
+    const bool sloArmed = config_.sloP99Micros > 0;
+    const bool traceSpans = config_.traceRequests && Tracer::enabled();
     for (std::size_t i = 0; i < live.size(); ++i) {
         PendingRequest &pending = *live[i];
         InferenceResult result;
@@ -218,15 +282,54 @@ InferenceServer::runBatch(std::vector<PendingRequest> &batch)
         result.usedFallback = useFallback;
         result.batchSize = batchSize;
         result.queueMicros =
-            microsBetween(pending.enqueueTime, batchStart);
+            microsBetween(pending.enqueueTime, pending.dequeueTime);
+        result.batchMicros =
+            microsBetween(pending.dequeueTime, computeStart);
+        result.computeMicros = microsBetween(computeStart, batchEnd);
         result.totalMicros = microsBetween(pending.enqueueTime, batchEnd);
         latency_.record(result.totalMicros);
-        windowLatency_.record(result.totalMicros);
+        tm_.latency->record(result.totalMicros);
+        tm_.stageQueue->record(result.queueMicros);
+        tm_.stageBatch->record(result.batchMicros);
+        tm_.stageCompute->record(result.computeMicros);
+        if (sloArmed)
+            windowLatency_.record(result.totalMicros);
+        if (traceSpans) {
+            // One async lane per stage, correlated by request id; the
+            // timestamps are backdated to where the boundary actually
+            // happened, so Perfetto shows the true pipeline shape.
+            Tracer &tracer = Tracer::instance();
+            const uint64_t id = pending.request.id;
+            tracer.asyncSpan("serve.queue", "serve", 'b', id,
+                             pending.enqueueTime);
+            tracer.asyncSpan("serve.queue", "serve", 'e', id,
+                             pending.dequeueTime);
+            tracer.asyncSpan("serve.batch", "serve", 'b', id,
+                             pending.dequeueTime);
+            tracer.asyncSpan("serve.batch", "serve", 'e', id,
+                             computeStart);
+            tracer.asyncSpan("serve.compute", "serve", 'b', id,
+                             computeStart);
+            tracer.asyncSpan("serve.compute", "serve", 'e', id,
+                             batchEnd);
+        }
         pending.promise.set_value(result);
     }
     windowCompleted_ += live.size();
     completed_.fetch_add(live.size(), std::memory_order_relaxed);
+    tm_.completed->inc(live.size());
+    inflight_.fetch_sub(static_cast<int64_t>(live.size()),
+                        std::memory_order_relaxed);
     obsCount("serve.completed", live.size());
+
+    // Live gauges, refreshed once per batch (a sampled view, not an
+    // exact accounting — the Sampler reads whatever is current).
+    tm_.queueDepth->set(static_cast<double>(queue_.size()));
+    tm_.inflight->set(static_cast<double>(
+        inflight_.load(std::memory_order_relaxed)));
+    tm_.batchOccupancy->set(
+        static_cast<double>(batch.size()) /
+        static_cast<double>(config_.batch.maxBatch));
 }
 
 void
@@ -241,11 +344,15 @@ InferenceServer::updateSlo()
         const bool degraded = degraded_.load(std::memory_order_relaxed);
         if (!degraded && p99 > slo) {
             degraded_.store(true, std::memory_order_relaxed);
+            tm_.degradeEnter->inc();
+            tm_.degradedGauge->set(1.0);
             warn("serve: window p99 %.0fus exceeds SLO %.0fus — "
                  "degrading to %s fallback",
                  p99, slo, backendKindName(fallback_->kind()));
         } else if (degraded && p99 < 0.8 * slo) {
             degraded_.store(false, std::memory_order_relaxed);
+            tm_.degradeExit->inc();
+            tm_.degradedGauge->set(0.0);
             inform("serve: window p99 %.0fus back under SLO %.0fus — "
                    "restoring primary backend",
                    p99, slo);

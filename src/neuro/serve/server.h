@@ -15,6 +15,15 @@
  * answers; the determinism contract (bit-identical results for a fixed
  * trace at any worker count) holds whenever the backend choice is
  * load-independent, i.e. fallback disabled.
+ *
+ * Telemetry: the server feeds the metric registry
+ * (telemetry/metrics.h) with per-stage latency histograms
+ * (`serve.stage.queue|batch|compute`, plus `serve.latency` end to
+ * end), live gauges (`serve.queue_depth`, `serve.inflight`,
+ * `serve.batch_occupancy`, `serve.degraded`) and monotonic counters
+ * mirroring ServeCounters — export them with NEURO_METRICS (see
+ * docs/observability.md). With traceRequests set, every request also
+ * emits async queue/batch/compute spans into the Chrome trace sink.
  */
 
 #pragma once
@@ -28,11 +37,17 @@
 #include <vector>
 
 #include "neuro/serve/backend.h"
-#include "neuro/serve/histogram.h"
 #include "neuro/serve/queue.h"
+#include "neuro/telemetry/histogram.h"
+#include "neuro/telemetry/metrics.h"
 
 namespace neuro {
 namespace serve {
+
+/** The serving histogram now lives in the telemetry layer
+ *  (telemetry/histogram.h); the alias keeps serve call sites and
+ *  tests source-compatible with its pre-promotion spelling. */
+using telemetry::LatencyHistogram;
 
 /** Tuning knobs of an InferenceServer. */
 struct ServeConfig
@@ -47,6 +62,18 @@ struct ServeConfig
      *  Requires a fallback backend; breaks trace-determinism (the
      *  backend choice becomes load-dependent), hence off by default. */
     bool enableFallback = false;
+    /** Emit per-request async trace spans (queue/batch/compute lanes)
+     *  into the Chrome trace sink when tracing is active. Off by
+     *  default: a span costs six trace events per request. */
+    bool traceRequests = false;
+};
+
+/** Pipeline stages a request travels (see InferenceResult timings). */
+enum class Stage
+{
+    Queue,   ///< admission -> dequeued by the micro-batcher.
+    Batch,   ///< dequeue -> the formed batch starts computing.
+    Compute, ///< backend compute -> completion.
 };
 
 /** Point-in-time serving counters (all monotonic since start). */
@@ -101,6 +128,22 @@ class InferenceServer
     /** @return the cumulative (since start) latency histogram. */
     const LatencyHistogram &latency() const { return latency_; }
 
+    /**
+     * @return the process-wide per-stage latency histogram
+     * (`serve.stage.queue|batch|compute` in the metric registry).
+     * Registry-owned, so it accumulates across every InferenceServer
+     * in the process — call resetStageMetrics() between measurement
+     * runs for per-run numbers.
+     */
+    const LatencyHistogram &stageLatency(Stage stage) const;
+
+    /**
+     * Zero the registry-owned `serve.*` metrics (stage histograms,
+     * the global latency histogram, counters and gauges). Per-server
+     * state — counters() and latency() — is untouched.
+     */
+    static void resetStageMetrics();
+
     /** @return true while SLO degradation has engaged the fallback. */
     bool degraded() const
     {
@@ -147,6 +190,30 @@ class InferenceServer
     LatencyHistogram windowLatency_; ///< reset each SLO window.
     std::atomic<bool> degraded_{false};
     uint64_t windowCompleted_ = 0;   ///< dispatcher-only.
+
+    /** Registry-owned telemetry handles (resolved once at
+     *  construction; shared across servers, see stageLatency()). */
+    struct Telemetry
+    {
+        std::shared_ptr<LatencyHistogram> stageQueue;
+        std::shared_ptr<LatencyHistogram> stageBatch;
+        std::shared_ptr<LatencyHistogram> stageCompute;
+        std::shared_ptr<LatencyHistogram> latency;
+        std::shared_ptr<telemetry::Counter> enqueued;
+        std::shared_ptr<telemetry::Counter> completed;
+        std::shared_ptr<telemetry::Counter> rejected;
+        std::shared_ptr<telemetry::Counter> expired;
+        std::shared_ptr<telemetry::Counter> batches;
+        std::shared_ptr<telemetry::Counter> fallbacks;
+        std::shared_ptr<telemetry::Counter> degradeEnter;
+        std::shared_ptr<telemetry::Counter> degradeExit;
+        std::shared_ptr<telemetry::Gauge> queueDepth;
+        std::shared_ptr<telemetry::Gauge> inflight;
+        std::shared_ptr<telemetry::Gauge> batchOccupancy;
+        std::shared_ptr<telemetry::Gauge> degradedGauge;
+    };
+    Telemetry tm_;
+    std::atomic<int64_t> inflight_{0}; ///< admitted, not yet fulfilled.
 
     std::atomic<uint64_t> enqueued_{0};
     std::atomic<uint64_t> completed_{0};

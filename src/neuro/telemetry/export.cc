@@ -1,0 +1,183 @@
+#include "neuro/telemetry/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace neuro {
+namespace telemetry {
+
+namespace {
+
+/** Fixed %.6g float formatting — identical to the StatRegistry dump,
+ *  so every telemetry artifact is byte-stable for golden tests. */
+std::string
+formatValue(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+formatCount(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Minimal JSON string escaping; metric names are dotted identifiers,
+ *  but quote anything that would break the document anyway. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(
+                              static_cast<unsigned char>(c)));
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+void
+writePrometheus(const MetricsSnapshot &snap, std::ostream &os)
+{
+    for (const auto &c : snap.counters) {
+        const std::string name = prometheusName(c.name);
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << formatCount(c.value) << "\n";
+    }
+    for (const auto &g : snap.gauges) {
+        const std::string name = prometheusName(g.name);
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << formatValue(g.value) << "\n";
+    }
+    for (const auto &h : snap.histograms) {
+        const std::string name = prometheusName(h.name);
+        os << "# TYPE " << name << " summary\n";
+        os << name << "{quantile=\"0.5\"} "
+           << formatValue(h.summary.p50Us) << "\n";
+        os << name << "{quantile=\"0.95\"} "
+           << formatValue(h.summary.p95Us) << "\n";
+        os << name << "{quantile=\"0.99\"} "
+           << formatValue(h.summary.p99Us) << "\n";
+        os << name << "_sum " << formatValue(h.summary.sumUs) << "\n";
+        os << name << "_count " << formatCount(h.summary.count)
+           << "\n";
+    }
+}
+
+void
+writeJson(const MetricsSnapshot &snap, std::ostream &os)
+{
+    os << "{\n  \"counters\": {";
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    \"" << jsonEscape(snap.counters[i].name)
+           << "\": " << formatCount(snap.counters[i].value);
+    }
+    os << (snap.counters.empty() ? "},\n" : "\n  },\n");
+    os << "  \"gauges\": {";
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    \"" << jsonEscape(snap.gauges[i].name)
+           << "\": " << formatValue(snap.gauges[i].value);
+    }
+    os << (snap.gauges.empty() ? "},\n" : "\n  },\n");
+    os << "  \"histograms\": {";
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+        const auto &h = snap.histograms[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    \"" << jsonEscape(h.name) << "\": {"
+           << "\"count\": " << formatCount(h.summary.count)
+           << ", \"p50_us\": " << formatValue(h.summary.p50Us)
+           << ", \"p95_us\": " << formatValue(h.summary.p95Us)
+           << ", \"p99_us\": " << formatValue(h.summary.p99Us)
+           << ", \"max_us\": " << formatValue(h.summary.maxUs)
+           << ", \"sum_us\": " << formatValue(h.summary.sumUs)
+           << "}";
+    }
+    os << (snap.histograms.empty() ? "}\n" : "\n  }\n");
+    os << "}\n";
+}
+
+void
+writeTimelineCsv(const std::vector<Sampler::Row> &rows,
+                 std::ostream &os)
+{
+    // Column union across all rows: a metric registered mid-run gets
+    // empty cells before its first appearance.
+    std::set<std::string> columns;
+    for (const auto &row : rows) {
+        for (const auto &c : row.snapshot.counters)
+            columns.insert(c.name);
+        for (const auto &g : row.snapshot.gauges)
+            columns.insert(g.name);
+        for (const auto &h : row.snapshot.histograms) {
+            columns.insert(h.name + ".count");
+            columns.insert(h.name + ".p50_us");
+            columns.insert(h.name + ".p95_us");
+            columns.insert(h.name + ".p99_us");
+        }
+    }
+    os << "time_s";
+    for (const auto &col : columns)
+        os << "," << col;
+    os << "\n";
+    for (const auto &row : rows) {
+        std::map<std::string, std::string> cells;
+        for (const auto &c : row.snapshot.counters)
+            cells[c.name] = formatCount(c.value);
+        for (const auto &g : row.snapshot.gauges)
+            cells[g.name] = formatValue(g.value);
+        for (const auto &h : row.snapshot.histograms) {
+            cells[h.name + ".count"] = formatCount(h.summary.count);
+            cells[h.name + ".p50_us"] = formatValue(h.summary.p50Us);
+            cells[h.name + ".p95_us"] = formatValue(h.summary.p95Us);
+            cells[h.name + ".p99_us"] = formatValue(h.summary.p99Us);
+        }
+        os << formatValue(row.timeS);
+        for (const auto &col : columns) {
+            os << ",";
+            auto it = cells.find(col);
+            if (it != cells.end())
+                os << it->second;
+        }
+        os << "\n";
+    }
+}
+
+} // namespace telemetry
+} // namespace neuro

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Exporters serializing a MetricsSnapshot (and the Sampler's timeline
+ * ring) into the three machine-readable formats the telemetry layer
+ * speaks (docs/observability.md):
+ *
+ * - Prometheus text exposition: counters and gauges as plain series,
+ *   histograms as summaries (`{quantile="0.5|0.95|0.99"}` plus `_sum`
+ *   and `_count`); dotted metric names are sanitized to underscores.
+ * - JSON: one object with "counters" / "gauges" / "histograms" maps —
+ *   a snapshot a load harness can consume without a Prometheus parser.
+ * - CSV timeline: one row per sampler tick, one column per metric
+ *   (histograms contribute `.count/.p50_us/.p95_us/.p99_us` columns),
+ *   following the repo's `bench_*.csv` conventions (header row, %.6g
+ *   values).
+ *
+ * All three outputs are deterministic for a quiescent registry: maps
+ * are name-sorted and every float is formatted with the same fixed
+ * %.6g rule as the StatRegistry dump, so golden-file tests and CI
+ * diffs never flake on formatting.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "neuro/telemetry/metrics.h"
+#include "neuro/telemetry/sampler.h"
+
+namespace neuro {
+namespace telemetry {
+
+/** @return @p name with every non-[a-zA-Z0-9_:] byte replaced by '_'
+ *  (Prometheus metric-name alphabet). */
+std::string prometheusName(const std::string &name);
+
+/** Write @p snap in Prometheus text exposition format. */
+void writePrometheus(const MetricsSnapshot &snap, std::ostream &os);
+
+/** Write @p snap as a JSON object. */
+void writeJson(const MetricsSnapshot &snap, std::ostream &os);
+
+/**
+ * Write the sampler timeline as CSV: header `time_s,<metric>,...`
+ * with columns the sorted union of every metric seen across @p rows
+ * (a metric registered mid-run is empty in earlier rows).
+ */
+void writeTimelineCsv(const std::vector<Sampler::Row> &rows,
+                      std::ostream &os);
+
+} // namespace telemetry
+} // namespace neuro

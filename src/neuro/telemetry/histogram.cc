@@ -1,11 +1,11 @@
-#include "neuro/serve/histogram.h"
+#include "neuro/telemetry/histogram.h"
 
 #include <algorithm>
 #include <bit>
 #include <cmath>
 
 namespace neuro {
-namespace serve {
+namespace telemetry {
 
 int
 LatencyHistogram::bucketOf(uint64_t micros)
@@ -83,6 +83,34 @@ LatencyHistogram::maxMicros() const
     return 0.0;
 }
 
+double
+LatencyHistogram::sumMicros() const
+{
+    double sum = 0.0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const uint64_t n = buckets_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+        if (n != 0)
+            sum += static_cast<double>(n) * bucketUpperBound(i);
+    }
+    return sum;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (int i = 0; i < kBuckets; ++i) {
+        const uint64_t n =
+            other.buckets_[static_cast<std::size_t>(i)].load(
+                std::memory_order_relaxed);
+        if (n != 0)
+            buckets_[static_cast<std::size_t>(i)].fetch_add(
+                n, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
 void
 LatencyHistogram::reset()
 {
@@ -100,8 +128,9 @@ LatencyHistogram::summary() const
     s.p95Us = percentile(0.95);
     s.p99Us = percentile(0.99);
     s.maxUs = maxMicros();
+    s.sumUs = sumMicros();
     return s;
 }
 
-} // namespace serve
+} // namespace telemetry
 } // namespace neuro

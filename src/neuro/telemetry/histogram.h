@@ -1,10 +1,14 @@
 /**
  * @file
- * Lock-free latency histogram for the serving runtime: fixed
- * log-linear microsecond buckets updated with relaxed atomics, so the
- * record path costs one increment and readers (SLO checks, stat
- * dumps) can take a consistent-enough snapshot at any time without
- * stalling workers.
+ * Lock-free log-bucketed latency histogram — the distribution
+ * primitive of the telemetry layer (docs/observability.md). Grown in
+ * the serving runtime (PR 5) and promoted here so every subsystem can
+ * record latency distributions through one registry; serve is now a
+ * client, not the owner.
+ *
+ * The record path costs two relaxed atomic increments, so readers
+ * (SLO checks, exporters, the sampler) can take a consistent-enough
+ * snapshot at any time without stalling writers.
  *
  * Bucketing: 8 sub-buckets per power of two ("log-linear"), covering
  * [0, ~2^36) microseconds. Quantile error is bounded by the bucket
@@ -19,7 +23,7 @@
 #include <cstdint>
 
 namespace neuro {
-namespace serve {
+namespace telemetry {
 
 /** Streaming latency distribution with percentile readout. */
 class LatencyHistogram
@@ -44,6 +48,23 @@ class LatencyHistogram
     /** @return the largest recorded sample (bucket upper bound). */
     double maxMicros() const;
 
+    /**
+     * @return an upper bound of the sum of all recorded samples
+     * (microseconds): each sample counts as its bucket's upper bound,
+     * so the record path stays two atomic increments. Feeds the
+     * Prometheus summary `_sum` series.
+     */
+    double sumMicros() const;
+
+    /**
+     * Fold @p other into this histogram, bucket by bucket. Merging is
+     * exact at the bucket level: the merged histogram answers every
+     * percentile/count/sum query as if all samples of both histograms
+     * had been recorded here. Not linearizable against concurrent
+     * record() on either side.
+     */
+    void merge(const LatencyHistogram &other);
+
     /** Forget all samples (not linearizable vs concurrent record()). */
     void reset();
 
@@ -55,9 +76,10 @@ class LatencyHistogram
         double p95Us = 0.0;
         double p99Us = 0.0;
         double maxUs = 0.0;
+        double sumUs = 0.0; ///< bucket-upper-bound sum (see sumMicros).
     };
 
-    /** @return count + p50/p95/p99/max in one pass. */
+    /** @return count + p50/p95/p99/max/sum in one pass. */
     Summary summary() const;
 
   private:
@@ -74,5 +96,5 @@ class LatencyHistogram
     std::atomic<uint64_t> count_{0};
 };
 
-} // namespace serve
+} // namespace telemetry
 } // namespace neuro

@@ -1,0 +1,108 @@
+#include "neuro/telemetry/metrics.h"
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace telemetry {
+
+MetricRegistry &
+MetricRegistry::instance()
+{
+    // Leaked on purpose: the registry must outlive every exit hook and
+    // any worker thread still publishing during shutdown. A static
+    // pointer keeps it reachable, so LeakSanitizer stays quiet.
+    static MetricRegistry *registry = new MetricRegistry();
+    return *registry;
+}
+
+void
+MetricRegistry::assertKindFree(const std::string &name,
+                               const char *kind) const
+{
+    // mutex_ is held by the caller.
+    const bool taken = (counters_.count(name) != 0 ||
+                        gauges_.count(name) != 0 ||
+                        histograms_.count(name) != 0);
+    NEURO_ASSERT(!taken,
+                 "metric '%s' already registered as a different kind "
+                 "(requested %s)",
+                 name.c_str(), kind);
+}
+
+std::shared_ptr<Counter>
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it != counters_.end())
+        return it->second;
+    assertKindFree(name, "counter");
+    auto metric = std::make_shared<Counter>();
+    counters_.emplace(name, metric);
+    return metric;
+}
+
+std::shared_ptr<Gauge>
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end())
+        return it->second;
+    assertKindFree(name, "gauge");
+    auto metric = std::make_shared<Gauge>();
+    gauges_.emplace(name, metric);
+    return metric;
+}
+
+std::shared_ptr<LatencyHistogram>
+MetricRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end())
+        return it->second;
+    assertKindFree(name, "histogram");
+    auto metric = std::make_shared<LatencyHistogram>();
+    histograms_.emplace(name, metric);
+    return metric;
+}
+
+MetricsSnapshot
+MetricRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, metric] : counters_)
+        snap.counters.push_back({name, metric->value()});
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &[name, metric] : gauges_)
+        snap.gauges.push_back({name, metric->value()});
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, metric] : histograms_)
+        snap.histograms.push_back({name, metric->summary()});
+    return snap;
+}
+
+void
+MetricRegistry::resetValues()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, metric] : counters_)
+        metric->reset();
+    for (auto &[name, metric] : gauges_)
+        metric->reset();
+    for (auto &[name, metric] : histograms_)
+        metric->reset();
+}
+
+std::size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+} // namespace telemetry
+} // namespace neuro

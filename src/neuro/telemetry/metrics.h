@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Typed metrics registry — the unification point of the repo's
+ * observability islands (docs/observability.md). Where the Profiler
+ * (profile.h) aggregates *per-scope timings* and the Tracer (trace.h)
+ * streams *events*, the MetricRegistry holds *named live metrics* a
+ * scraper can read at any instant:
+ *
+ * - Counter    — monotonic uint64 (requests completed, cache hits);
+ * - Gauge      — last-write-wins double (queue depth, in-flight);
+ * - Histogram  — the log-bucketed LatencyHistogram (stage latencies).
+ *
+ * Metrics are created on first use and live for the process lifetime;
+ * handles returned by counter()/gauge()/histogram() are shared_ptrs
+ * that stay valid forever, so hot paths pay one relaxed atomic per
+ * update and never re-lookup by name. Names are dotted
+ * (`serve.stage.queue`) and must be unique across kinds.
+ *
+ * The process-wide registry (instance()) is what the Sampler snapshots
+ * and the Prometheus/JSON/CSV exporters serialize (export.h); separate
+ * MetricRegistry objects can be constructed for tests. When several
+ * components share a metric name (e.g. two InferenceServers in one
+ * process), counters accumulate across them and gauges reflect the
+ * most recent writer — reset via resetValues() between measurement
+ * runs when per-run numbers are wanted.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "neuro/telemetry/histogram.h"
+
+namespace neuro {
+namespace telemetry {
+
+/** Monotonic event counter (thread-safe, relaxed). */
+class Counter
+{
+  public:
+    /** Add @p delta to the counter. */
+    void
+    inc(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** @return the current value. */
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Zero the counter (measurement-run bookkeeping, not rollover). */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value (thread-safe, relaxed). */
+class Gauge
+{
+  public:
+    /** Set the gauge to @p v. */
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    /** @return the most recently set value. */
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Reset to zero. */
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * A point-in-time copy of every registered metric, sorted by name
+ * within each kind — the deterministic input of every exporter.
+ */
+struct MetricsSnapshot
+{
+    struct CounterValue
+    {
+        std::string name;
+        uint64_t value = 0;
+    };
+    struct GaugeValue
+    {
+        std::string name;
+        double value = 0.0;
+    };
+    struct HistogramValue
+    {
+        std::string name;
+        LatencyHistogram::Summary summary;
+    };
+
+    std::vector<CounterValue> counters;
+    std::vector<GaugeValue> gauges;
+    std::vector<HistogramValue> histograms;
+};
+
+/** Named counters, gauges and histograms behind one lookup. */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /**
+     * @return the process-wide registry. Deliberately never destroyed
+     * (leaked on exit) so exit hooks and late-running worker threads
+     * can always read it, whatever the static-destruction order.
+     */
+    static MetricRegistry &instance();
+
+    /** @return the named counter, created on first use. */
+    std::shared_ptr<Counter> counter(const std::string &name);
+
+    /** @return the named gauge, created on first use. */
+    std::shared_ptr<Gauge> gauge(const std::string &name);
+
+    /** @return the named histogram, created on first use. */
+    std::shared_ptr<LatencyHistogram>
+    histogram(const std::string &name);
+
+    /** @return a consistent, name-sorted copy of every metric. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every metric's value; registrations and handles remain
+     *  valid (between measurement runs, and in tests). */
+    void resetValues();
+
+    /** @return number of registered metrics (all kinds). */
+    std::size_t size() const;
+
+  private:
+    /** Panics if @p name is registered under a different kind. */
+    void assertKindFree(const std::string &name,
+                        const char *kind) const;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<Counter>> counters_;
+    std::map<std::string, std::shared_ptr<Gauge>> gauges_;
+    std::map<std::string, std::shared_ptr<LatencyHistogram>>
+        histograms_;
+};
+
+} // namespace telemetry
+} // namespace neuro

@@ -1,0 +1,97 @@
+#include "neuro/telemetry/sampler.h"
+
+#include "neuro/common/logging.h"
+
+namespace neuro {
+namespace telemetry {
+
+Sampler::Sampler(MetricRegistry &registry, SamplerConfig config)
+    : registry_(registry), config_(config),
+      epoch_(std::chrono::steady_clock::now())
+{
+    NEURO_ASSERT(config_.periodMillis >= 1,
+                 "sampler period must be >= 1 ms (got %lld)",
+                 static_cast<long long>(config_.periodMillis));
+    NEURO_ASSERT(config_.capacity >= 1,
+                 "sampler capacity must be >= 1");
+}
+
+Sampler::~Sampler()
+{
+    stop();
+}
+
+void
+Sampler::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        if (running_)
+            return;
+        running_ = true;
+        stopping_ = false;
+    }
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+Sampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        if (!running_)
+            return;
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    std::lock_guard<std::mutex> lock(wakeMutex_);
+    running_ = false;
+}
+
+void
+Sampler::sampleOnce()
+{
+    Row row;
+    row.timeS = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - epoch_)
+                    .count();
+    row.snapshot = registry_.snapshot();
+    std::lock_guard<std::mutex> lock(ringMutex_);
+    ring_.push_back(std::move(row));
+    while (ring_.size() > config_.capacity) {
+        ring_.pop_front();
+        ++dropped_;
+    }
+}
+
+std::vector<Sampler::Row>
+Sampler::rows() const
+{
+    std::lock_guard<std::mutex> lock(ringMutex_);
+    return std::vector<Row>(ring_.begin(), ring_.end());
+}
+
+uint64_t
+Sampler::dropped() const
+{
+    std::lock_guard<std::mutex> lock(ringMutex_);
+    return dropped_;
+}
+
+void
+Sampler::loop()
+{
+    const auto period = std::chrono::milliseconds(config_.periodMillis);
+    std::unique_lock<std::mutex> lock(wakeMutex_);
+    while (!stopping_) {
+        lock.unlock();
+        sampleOnce();
+        lock.lock();
+        wake_.wait_for(lock, period, [this] { return stopping_; });
+    }
+}
+
+} // namespace telemetry
+} // namespace neuro

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Periodic metrics sampler: a background thread that snapshots a
+ * MetricRegistry on a fixed period into a fixed-capacity ring buffer
+ * of timestamped rows — the time-series half of the telemetry layer
+ * (docs/observability.md). The ring gives the CSV timeline exporter
+ * (export.h) a bounded-memory history of how every counter, gauge and
+ * histogram evolved over a run; when the ring is full the oldest row
+ * is dropped (and counted), so a long run keeps its most recent
+ * window instead of growing without bound.
+ *
+ * The sampler never blocks writers: a snapshot reads each metric with
+ * relaxed atomics under the registry's registration lock only.
+ * sampleOnce() is public so tests and exit hooks can capture a row
+ * deterministically without the thread.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "neuro/telemetry/metrics.h"
+
+namespace neuro {
+namespace telemetry {
+
+/** Sampler tuning knobs. */
+struct SamplerConfig
+{
+    int64_t periodMillis = 100; ///< snapshot period, >= 1.
+    std::size_t capacity = 2048; ///< ring rows kept, >= 1.
+};
+
+/** Background snapshotter feeding a bounded timeline ring buffer. */
+class Sampler
+{
+  public:
+    explicit Sampler(MetricRegistry &registry,
+                     SamplerConfig config = {});
+
+    /** Stops the thread if running. */
+    ~Sampler();
+
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /** Start the background thread (idempotent). */
+    void start();
+
+    /** Stop and join the background thread (idempotent). */
+    void stop();
+
+    /** Take one snapshot row now (also usable without start()). */
+    void sampleOnce();
+
+    /** One timestamped registry snapshot. */
+    struct Row
+    {
+        double timeS = 0.0; ///< seconds since the sampler was built.
+        MetricsSnapshot snapshot;
+    };
+
+    /** @return a copy of the ring, oldest row first. */
+    std::vector<Row> rows() const;
+
+    /** @return rows evicted because the ring was full. */
+    uint64_t dropped() const;
+
+    const SamplerConfig &config() const { return config_; }
+
+  private:
+    void loop();
+
+    MetricRegistry &registry_;
+    SamplerConfig config_;
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex ringMutex_;
+    std::deque<Row> ring_;
+    uint64_t dropped_ = 0;
+
+    std::mutex wakeMutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+    bool running_ = false;
+    std::thread thread_;
+};
+
+} // namespace telemetry
+} // namespace neuro

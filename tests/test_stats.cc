@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iomanip>
 #include <sstream>
 
 #include "neuro/common/stats.h"
@@ -68,6 +69,35 @@ TEST(StatRegistry, DumpContainsNames)
     EXPECT_NE(out.find("fires"), std::string::npos);
     EXPECT_NE(out.find("acc"), std::string::npos);
     EXPECT_NE(out.find("dist"), std::string::npos);
+}
+
+TEST(StatRegistry, DumpIsDeterministic)
+{
+    // The dump is a machine-diffable artifact: sorted key order, fixed
+    // %.6g floats, and immune to stream state left by earlier writers.
+    StatRegistry stats;
+    stats.inc("b.counter", 7);
+    stats.inc("a.counter", 2);
+    stats.setScalar("scalar.pi", 3.14159265358979);
+    stats.sample("dist.x", 1.0);
+    stats.sample("dist.x", 2.0);
+
+    std::ostringstream os;
+    os << std::setprecision(2) << std::fixed; // hostile stream state.
+    stats.dump(os);
+    const std::string expected =
+        "---------- stats ----------\n"
+        "a.counter                               2\n"
+        "b.counter                               7\n"
+        "scalar.pi                               3.14159\n"
+        "dist.x                                  n=2 total=3 mean=1.5 "
+        "sd=0.5 min=1 max=2\n"
+        "---------------------------\n";
+    EXPECT_EQ(os.str(), expected);
+
+    std::ostringstream again;
+    stats.dump(again);
+    EXPECT_EQ(again.str(), expected);
 }
 
 TEST(StatRegistry, ResetClearsEverything)

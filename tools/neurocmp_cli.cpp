@@ -10,20 +10,24 @@
  *   neurocmp eval-snn   load=model.ncmp [test=N]   # load + evaluate
  *   neurocmp serve      load=model.ncmp [requests=N batch=B]  # serving
  *   neurocmp stats      [train=N test=N]           # observability demo
+ *   neurocmp metrics    [format=prom|json]         # telemetry demo
  *
  * All subcommands accept key=value overrides and NEURO_* environment
  * variables; `neurocmp list` shows the mapping to paper experiments.
  * Every subcommand additionally understands --trace=<path> (record a
- * Chrome-trace JSON viewable in Perfetto) and --stats-dump (print the
- * per-scope timing/counter registry at exit); NEURO_TRACE and
- * NEURO_STATS_DUMP do the same from the environment — there, and for
- * every bench binary, no flags are needed (see docs/observability.md).
+ * Chrome-trace JSON viewable in Perfetto), --stats-dump (print the
+ * per-scope timing/counter registry at exit) and --metrics=<path>
+ * (export the metric registry at exit, Prometheus/JSON/CSV by
+ * extension); NEURO_TRACE, NEURO_STATS_DUMP and NEURO_METRICS do the
+ * same from the environment — there, and for every bench binary, no
+ * flags are needed (see docs/observability.md).
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <future>
 #include <iostream>
 
 #include "neuro/common/config.h"
@@ -43,6 +47,8 @@
 #include "neuro/serve/registry.h"
 #include "neuro/serve/server.h"
 #include "neuro/snn/serialize.h"
+#include "neuro/telemetry/export.h"
+#include "neuro/telemetry/metrics.h"
 
 namespace {
 
@@ -64,14 +70,19 @@ cmdList()
         "             [requests=N seed=S batch=B wait_us=U capacity=C\n"
         "             deadline_us=D slo_us=P fallback=0|1 inflight=K]\n"
         "             (docs/serving.md)\n"
-        "  stats      run a small instrumented train + folded-sim demo\n"
-        "             and dump the profiler registry\n"
+        "  stats      run a small instrumented train + serving + "
+        "folded-sim\n"
+        "             demo and dump the profiler registry\n"
+        "  metrics    run a small serving burst and print the metric\n"
+        "             registry [format=prom|json]\n"
         "common options: train=N test=N workload=mnist|mpeg7|sad, and\n"
         "NEURO_SCALE / NEURO_MNIST_DIR environment variables.\n"
         "observability (all subcommands): --trace=<out.json> records a\n"
         "Chrome trace (Perfetto); --stats-dump prints scope timings and\n"
-        "counters at exit; NEURO_TRACE / NEURO_STATS_DUMP do the same\n"
-        "for any binary, benches included (docs/observability.md).\n"
+        "counters at exit; --metrics=<path> exports the metric registry\n"
+        "at exit (.prom/.json/.csv by extension); NEURO_TRACE /\n"
+        "NEURO_STATS_DUMP / NEURO_METRICS do the same for any binary,\n"
+        "benches included (docs/observability.md).\n"
         "parallelism: --threads=N (or NEURO_THREADS) sets the worker\n"
         "pool width; 1 = fully serial, default = all hardware threads.\n"
         "results are identical at any setting (docs/parallelism.md).\n"
@@ -203,10 +214,57 @@ cmdTrainSnn(const Config &cfg)
 }
 
 /**
+ * Tiny closed-loop serving burst: trains a small MLP on the workload
+ * and pushes @p requests through an InferenceServer so the `serve.*`
+ * counters, gauges and stage histograms (and the serve/batch profiler
+ * scopes) all carry data. @return requests completed Ok.
+ */
+uint64_t
+runServeDemo(const core::Workload &w, uint64_t requests)
+{
+    mlp::MlpConfig mlpConfig = core::defaultMlpConfig(w);
+    mlpConfig.layerSizes = {w.data.train.inputSize(), 16,
+                            static_cast<std::size_t>(
+                                w.data.train.numClasses())};
+    Rng rng(3);
+    mlp::Mlp net(mlpConfig, rng);
+    mlp::TrainConfig tc;
+    tc.epochs = 1;
+    mlp::train(net, w.data.train, tc);
+    const std::shared_ptr<serve::InferenceBackend> backend =
+        serve::makeMlpBackend(std::move(net));
+
+    serve::ServeConfig sc;
+    sc.batch.maxBatch = 16;
+    serve::InferenceServer server(backend, sc);
+    uint64_t ok = 0;
+    std::deque<std::future<serve::InferenceResult>> pending;
+    auto consumeOne = [&] {
+        if (pending.front().get().status == serve::RequestStatus::Ok)
+            ++ok;
+        pending.pop_front();
+    };
+    for (uint64_t id = 0; id < requests; ++id) {
+        serve::InferenceRequest request;
+        request.id = id;
+        request.pixels = w.data.test[id % w.data.test.size()].pixels;
+        request.streamSeed = deriveStreamSeed(55, id);
+        pending.push_back(server.submit(std::move(request)));
+        while (pending.size() >= 64)
+            consumeOne();
+    }
+    while (!pending.empty())
+        consumeOne();
+    server.stop();
+    return ok;
+}
+
+/**
  * Observability self-demo: a short instrumented SNN+STDP train/eval, an
- * MLP epoch, and one folded-schedule simulation of each design, then a
- * dump of everything the profiler collected. With --trace=<path> the
- * same run produces a Chrome trace of all the scopes it exercised.
+ * MLP epoch, a serving burst, and one folded-schedule simulation of
+ * each design, then a dump of everything the profiler collected. With
+ * --trace=<path> the same run produces a Chrome trace of all the
+ * scopes it exercised.
  */
 int
 cmdStats(const Config &cfg)
@@ -245,12 +303,50 @@ cmdStats(const Config &cfg)
                               13);
     }
     {
+        NEURO_PROFILE_SCOPE("cli/stats/serve");
+        runServeDemo(w, 400);
+    }
+    {
         NEURO_PROFILE_SCOPE("cli/stats/cycle");
         cycle::simulateFoldedMlp(w.mlpTopo, 16);
         cycle::simulateFoldedSnnWot(w.snnTopo, 16);
     }
 
     Profiler::instance().dump(std::cout);
+    return 0;
+}
+
+/**
+ * Telemetry self-demo: a small serving burst, then the metric registry
+ * printed to stdout through the requested exporter — the quickest way
+ * to see which metrics exist and what NEURO_METRICS / --metrics=<path>
+ * would write (docs/observability.md).
+ */
+int
+cmdMetrics(const Config &cfg)
+{
+    Config demo = cfg;
+    if (!cfg.has("train"))
+        demo.set("train", "300");
+    if (!cfg.has("test"))
+        demo.set("test", "80");
+    const core::Workload w = loadWorkload(demo);
+
+    const auto requests =
+        static_cast<uint64_t>(demo.getInt("requests", 400));
+    const uint64_t ok = runServeDemo(w, requests);
+    inform("metrics demo: %llu/%llu requests served",
+           (unsigned long long)ok, (unsigned long long)requests);
+
+    const telemetry::MetricsSnapshot snap =
+        telemetry::MetricRegistry::instance().snapshot();
+    const std::string format = demo.getString("format", "prom");
+    if (format == "json")
+        telemetry::writeJson(snap, std::cout);
+    else if (format == "prom" || format == "prometheus")
+        telemetry::writePrometheus(snap, std::cout);
+    else
+        fatal("unknown format '%s' (prom|json)", format.c_str());
     return 0;
 }
 
@@ -448,6 +544,8 @@ main(int argc, char **argv)
         return cmdServe(cfg);
     if (std::strcmp(cmd, "stats") == 0)
         return cmdStats(cfg);
+    if (std::strcmp(cmd, "metrics") == 0)
+        return cmdMetrics(cfg);
     warn("unknown subcommand '%s'", cmd);
     return cmdList();
 }
