@@ -23,7 +23,7 @@ std::vector<std::string> &
 knownFlags()
 {
     static std::vector<std::string> flags = {
-        "threads", "trace", "stats_dump", "metrics",
+        "threads", "simd", "trace", "stats_dump", "metrics",
         "metrics_period_ms", "trace_requests", "quick", "help",
     };
     return flags;

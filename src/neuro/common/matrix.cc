@@ -2,6 +2,7 @@
 
 #include "neuro/common/logging.h"
 #include "neuro/common/rng.h"
+#include "neuro/kernels/kernels.h"
 
 namespace neuro {
 
@@ -57,123 +58,34 @@ Matrix::fillGaussian(Rng &rng, float mean, float stddev)
         x = static_cast<float>(rng.gaussian(mean, stddev));
 }
 
-namespace {
-
-/**
- * 4-wide unrolled dot product. Independent accumulators break the
- * loop-carried dependency chain so the FMA units stay busy; __restrict
- * lets the compiler keep both streams in registers.
- */
-inline float
-dotUnrolled(const float *__restrict w, const float *__restrict x,
-            std::size_t n)
-{
-    float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-    std::size_t c = 0;
-    for (; c + 4 <= n; c += 4) {
-        acc0 += w[c] * x[c];
-        acc1 += w[c + 1] * x[c + 1];
-        acc2 += w[c + 2] * x[c + 2];
-        acc3 += w[c + 3] * x[c + 3];
-    }
-    float acc = (acc0 + acc1) + (acc2 + acc3);
-    for (; c < n; ++c)
-        acc += w[c] * x[c];
-    return acc;
-}
-
-} // namespace
+// The linear-algebra entry points delegate to the unified SIMD kernel
+// layer (neuro/kernels/): one runtime-dispatched implementation shared
+// with the strip, q8 and event-engine paths, bit-identical to the
+// historical scalar loops at every ISA level (docs/kernels.md).
 
 void
 Matrix::gemv(const float *x, float *y) const
 {
-    const float *__restrict data = data_.data();
-    for (std::size_t r = 0; r < rows_; ++r)
-        y[r] = dotUnrolled(data + r * cols_, x, cols_);
+    kernels::gemv(data_.data(), rows_, cols_, x, y);
 }
 
 void
 Matrix::gemvT(const float *x, float *y) const
 {
-    // Row-blocked transposed product: a naive column-major walk strides
-    // through memory cols_ floats at a time and misses on every access.
-    // Processing four rows per pass streams the matrix row-major and
-    // touches each y[c] cache line once per block instead of once per
-    // row.
-    const float *__restrict data = data_.data();
-    float *__restrict out = y;
-    for (std::size_t c = 0; c < cols_; ++c)
-        out[c] = 0.0f;
-    std::size_t r = 0;
-    for (; r + 4 <= rows_; r += 4) {
-        const float x0 = x[r], x1 = x[r + 1];
-        const float x2 = x[r + 2], x3 = x[r + 3];
-        if (x0 == 0.0f && x1 == 0.0f && x2 == 0.0f && x3 == 0.0f)
-            continue;
-        const float *__restrict w0 = data + r * cols_;
-        const float *__restrict w1 = w0 + cols_;
-        const float *__restrict w2 = w1 + cols_;
-        const float *__restrict w3 = w2 + cols_;
-        for (std::size_t c = 0; c < cols_; ++c) {
-            out[c] += (w0[c] * x0 + w1[c] * x1) +
-                (w2[c] * x2 + w3[c] * x3);
-        }
-    }
-    for (; r < rows_; ++r) {
-        const float xr = x[r];
-        if (xr == 0.0f)
-            continue;
-        const float *__restrict w = data + r * cols_;
-        for (std::size_t c = 0; c < cols_; ++c)
-            out[c] += w[c] * xr;
-    }
+    kernels::gemvT(data_.data(), rows_, cols_, x, y);
 }
 
 void
 Matrix::addOuter(float eta, const float *d, const float *x)
 {
-    float *__restrict data = data_.data();
-    const float *__restrict in = x;
-    for (std::size_t r = 0; r < rows_; ++r) {
-        float *__restrict w = data + r * cols_;
-        const float scale = eta * d[r];
-        if (scale == 0.0f)
-            continue;
-        std::size_t c = 0;
-        for (; c + 4 <= cols_; c += 4) {
-            w[c] += scale * in[c];
-            w[c + 1] += scale * in[c + 1];
-            w[c + 2] += scale * in[c + 2];
-            w[c + 3] += scale * in[c + 3];
-        }
-        for (; c < cols_; ++c)
-            w[c] += scale * in[c];
-    }
+    kernels::addOuter(data_.data(), rows_, cols_, eta, d, x);
 }
 
 void
 Matrix::addOuterBias(float eta, const float *d, const float *x)
 {
     NEURO_ASSERT(cols_ > 0, "addOuterBias needs a bias column");
-    float *__restrict data = data_.data();
-    const float *__restrict in = x;
-    const std::size_t n = cols_ - 1;
-    for (std::size_t r = 0; r < rows_; ++r) {
-        float *__restrict w = data + r * cols_;
-        const float scale = eta * d[r];
-        if (scale == 0.0f)
-            continue;
-        std::size_t c = 0;
-        for (; c + 4 <= n; c += 4) {
-            w[c] += scale * in[c];
-            w[c + 1] += scale * in[c + 1];
-            w[c + 2] += scale * in[c + 2];
-            w[c + 3] += scale * in[c + 3];
-        }
-        for (; c < n; ++c)
-            w[c] += scale * in[c];
-        w[n] += scale; // bias input is the constant 1.
-    }
+    kernels::addOuterBias(data_.data(), rows_, cols_, eta, d, x);
 }
 
 void
@@ -182,22 +94,15 @@ Matrix::addScaled(const Matrix &other, float scale)
     NEURO_ASSERT(other.rows_ == rows_ && other.cols_ == cols_,
                  "addScaled shape mismatch (%zux%zu += %zux%zu)", rows_,
                  cols_, other.rows_, other.cols_);
-    float *__restrict dst = data_.data();
-    const float *__restrict src = other.data_.data();
-    const std::size_t n = data_.size();
-    for (std::size_t i = 0; i < n; ++i)
-        dst[i] += scale * src[i];
+    kernels::addScaled(data_.data(), other.data_.data(), data_.size(),
+                       scale);
 }
 
 void
 Matrix::gemvBias(const float *x, float *y) const
 {
     NEURO_ASSERT(cols_ > 0, "gemvBias needs a bias column");
-    const float *__restrict data = data_.data();
-    for (std::size_t r = 0; r < rows_; ++r) {
-        const float *__restrict w = data + r * cols_;
-        y[r] = dotUnrolled(w, x, cols_ - 1) + w[cols_ - 1];
-    }
+    kernels::gemvBias(data_.data(), rows_, cols_, x, y);
 }
 
 } // namespace neuro

@@ -1,0 +1,12 @@
+// AVX512 kernel table: the same bodies as kernels_scalar.cc, compiled
+// with -mavx512f/bw/dq/vl and a 512-bit preferred vector width (see
+// src/CMakeLists.txt). Only ever called after a runtime
+// __builtin_cpu_supports("avx512f") check in kernels.cc. Note the
+// translation unit stays on -ffp-contract=off: AVX512 brings FMA
+// instructions, and fusing would change the float results.
+
+#define NEURO_KERNELS_ISA_NS avx512
+#define NEURO_KERNELS_ISA_NAME "avx512"
+#define NEURO_KERNELS_ISA_ENUM ::neuro::kernels::SimdIsa::Avx512
+
+#include "neuro/kernels/kernels_body.h"

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * The kernel bodies, written once and compiled once per ISA level.
+ * Each of kernels_scalar.cc / kernels_avx2.cc / kernels_avx512.cc
+ * defines NEURO_KERNELS_ISA_NS / NEURO_KERNELS_ISA_NAME /
+ * NEURO_KERNELS_ISA_ENUM and includes this header; the translation
+ * unit's compile flags (-mavx2, -mavx512f, ...) decide how wide the
+ * compiler vectorizes the very same C++ loops. Nothing here may use
+ * intrinsics: the bit-identity argument of docs/kernels.md rests on
+ * every variant executing the same per-result operation sequence,
+ * with width only changing how many independent results advance per
+ * instruction.
+ *
+ * Every loop follows one of two shapes:
+ *  - independent element chains (gemvT, addOuter*, addScaled,
+ *    addRowF64): each output element owns its additions, so
+ *    vectorizing across elements is order-preserving by construction;
+ *  - fixed-schedule reductions (gemv, gemvBias, the strips): four
+ *    partial accumulators merged as (a0+a1)+(a2+a3), then the tail,
+ *    then the bias — dotUnrolled's historical order, now the layer's
+ *    contract. Single-vector reductions cannot widen without
+ *    reassociating, which is why the strip kernels exist: they
+ *    vectorize across kStripWidth samples instead of within one.
+ *
+ * The q8 and popcount kernels are exact integer arithmetic, so the
+ * compiler may reassociate them freely without changing results.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "neuro/kernels/kernels.h"
+
+#ifndef NEURO_KERNELS_ISA_NS
+// Standalone-compile defaults (header self-sufficiency check); the
+// real translation units always define all three macros.
+#define NEURO_KERNELS_ISA_NS scalar
+#define NEURO_KERNELS_ISA_NAME "scalar"
+#define NEURO_KERNELS_ISA_ENUM ::neuro::kernels::SimdIsa::Scalar
+#endif
+
+namespace neuro {
+namespace kernels {
+namespace NEURO_KERNELS_ISA_NS {
+namespace {
+
+/**
+ * 4-wide unrolled dot product — the exact accumulator schedule the
+ * scalar Matrix paths have always used: independent partials broken
+ * out of the loop-carried chain, merged pairwise, tail appended.
+ */
+inline float
+dotUnrolled(const float *__restrict w, const float *__restrict x,
+            std::size_t n)
+{
+    float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+    std::size_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+        acc0 += w[c] * x[c];
+        acc1 += w[c + 1] * x[c + 1];
+        acc2 += w[c + 2] * x[c + 2];
+        acc3 += w[c + 3] * x[c + 3];
+    }
+    float acc = (acc0 + acc1) + (acc2 + acc3);
+    for (; c < n; ++c)
+        acc += w[c] * x[c];
+    return acc;
+}
+
+void
+kGemv(const float *w, std::size_t rows, std::size_t cols,
+      const float *x, float *y)
+{
+    for (std::size_t r = 0; r < rows; ++r)
+        y[r] = dotUnrolled(w + r * cols, x, cols);
+}
+
+void
+kGemvBias(const float *w, std::size_t rows, std::size_t cols,
+          const float *x, float *y)
+{
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *__restrict wr = w + r * cols;
+        y[r] = dotUnrolled(wr, x, cols - 1) + wr[cols - 1];
+    }
+}
+
+void
+kGemvT(const float *w, std::size_t rows, std::size_t cols,
+       const float *x, float *y)
+{
+    // Row-blocked transposed product: streams the matrix row-major
+    // and touches each y[c] cache line once per four-row block. Per
+    // output element the adds run in row order — vectorizing across
+    // c keeps every element's chain intact.
+    float *__restrict out = y;
+    for (std::size_t c = 0; c < cols; ++c)
+        out[c] = 0.0f;
+    std::size_t r = 0;
+    for (; r + 4 <= rows; r += 4) {
+        const float x0 = x[r], x1 = x[r + 1];
+        const float x2 = x[r + 2], x3 = x[r + 3];
+        if (x0 == 0.0f && x1 == 0.0f && x2 == 0.0f && x3 == 0.0f)
+            continue;
+        const float *__restrict w0 = w + r * cols;
+        const float *__restrict w1 = w0 + cols;
+        const float *__restrict w2 = w1 + cols;
+        const float *__restrict w3 = w2 + cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+            out[c] += (w0[c] * x0 + w1[c] * x1) +
+                (w2[c] * x2 + w3[c] * x3);
+        }
+    }
+    for (; r < rows; ++r) {
+        const float xr = x[r];
+        if (xr == 0.0f)
+            continue;
+        const float *__restrict wr = w + r * cols;
+        for (std::size_t c = 0; c < cols; ++c)
+            out[c] += wr[c] * xr;
+    }
+}
+
+/**
+ * One output row over a full strip: per sample, dotUnrolled's exact
+ * schedule — four partials over the columns merged as
+ * (a0+a1)+(a2+a3), tail columns, then the bias. The compiler
+ * vectorizes across the kStripWidth samples.
+ */
+inline void
+stripRow(const float *__restrict in, const float *__restrict wr,
+         std::size_t inputs, float *__restrict out)
+{
+    float a0[kStripWidth] = {}, a1[kStripWidth] = {};
+    float a2[kStripWidth] = {}, a3[kStripWidth] = {};
+    std::size_t c = 0;
+    for (; c + 4 <= inputs; c += 4) {
+        const float *xc = in + c * kStripWidth;
+        const float w0 = wr[c], w1 = wr[c + 1];
+        const float w2 = wr[c + 2], w3 = wr[c + 3];
+        for (std::size_t b = 0; b < kStripWidth; ++b) {
+            a0[b] += w0 * xc[b];
+            a1[b] += w1 * xc[kStripWidth + b];
+            a2[b] += w2 * xc[2 * kStripWidth + b];
+            a3[b] += w3 * xc[3 * kStripWidth + b];
+        }
+    }
+    float acc[kStripWidth];
+    for (std::size_t b = 0; b < kStripWidth; ++b)
+        acc[b] = (a0[b] + a1[b]) + (a2[b] + a3[b]);
+    for (; c < inputs; ++c) {
+        const float wc = wr[c];
+        for (std::size_t b = 0; b < kStripWidth; ++b)
+            acc[b] += wc * in[c * kStripWidth + b];
+    }
+    const float bias = wr[inputs];
+    for (std::size_t b = 0; b < kStripWidth; ++b)
+        out[b] = acc[b] + bias;
+}
+
+/**
+ * kRowBlock output rows in one pass over the strip: each column group
+ * of activations is loaded once and feeds every row's accumulators,
+ * so a strip bigger than L1 streams from L2 once per row block
+ * instead of once per row. Interleaving rows changes which row's add
+ * retires next, never the order within a row.
+ */
+inline void
+stripRowBlock(const float *__restrict in, const float *const *wrs,
+              std::size_t inputs, float *__restrict out)
+{
+    float a[kRowBlock][4][kStripWidth] = {};
+    std::size_t c = 0;
+    for (; c + 4 <= inputs; c += 4) {
+        const float *xc = in + c * kStripWidth;
+        for (std::size_t j = 0; j < kRowBlock; ++j) {
+            const float *wr = wrs[j];
+            const float w0 = wr[c], w1 = wr[c + 1];
+            const float w2 = wr[c + 2], w3 = wr[c + 3];
+            for (std::size_t b = 0; b < kStripWidth; ++b) {
+                a[j][0][b] += w0 * xc[b];
+                a[j][1][b] += w1 * xc[kStripWidth + b];
+                a[j][2][b] += w2 * xc[2 * kStripWidth + b];
+                a[j][3][b] += w3 * xc[3 * kStripWidth + b];
+            }
+        }
+    }
+    for (std::size_t j = 0; j < kRowBlock; ++j) {
+        float acc[kStripWidth];
+        for (std::size_t b = 0; b < kStripWidth; ++b)
+            acc[b] = (a[j][0][b] + a[j][1][b]) +
+                (a[j][2][b] + a[j][3][b]);
+        for (std::size_t ct = c; ct < inputs; ++ct) {
+            const float wc = wrs[j][ct];
+            for (std::size_t b = 0; b < kStripWidth; ++b)
+                acc[b] += wc * in[ct * kStripWidth + b];
+        }
+        const float bias = wrs[j][inputs];
+        for (std::size_t b = 0; b < kStripWidth; ++b)
+            out[j * kStripWidth + b] = acc[b] + bias;
+    }
+}
+
+void
+kGemvBiasStrip(const float *w, std::size_t rows, std::size_t cols,
+               const float *in, float *out)
+{
+    const std::size_t inputs = cols - 1;
+    std::size_t r = 0;
+    for (; r + kRowBlock <= rows; r += kRowBlock) {
+        const float *wrs[kRowBlock];
+        for (std::size_t j = 0; j < kRowBlock; ++j)
+            wrs[j] = w + (r + j) * cols;
+        stripRowBlock(in, wrs, inputs, out + r * kStripWidth);
+    }
+    for (; r < rows; ++r)
+        stripRow(in, w + r * cols, inputs, out + r * kStripWidth);
+}
+
+void
+kGemvBiasQ8(const int8_t *w, std::size_t rows, std::size_t cols,
+            const uint8_t *x, int32_t *y)
+{
+    const std::size_t fan_in = cols - 1;
+    for (std::size_t r = 0; r < rows; ++r) {
+        const int8_t *__restrict wr = w + r * cols;
+        // Bias weight fed by the constant-1 input (code 255), then a
+        // widening int8 x uint8 MAC — exact integer arithmetic, so
+        // the vectorizer's partial sums are harmless.
+        int32_t acc = static_cast<int32_t>(wr[fan_in]) * 255;
+        for (std::size_t i = 0; i < fan_in; ++i)
+            acc += static_cast<int32_t>(wr[i]) * x[i];
+        y[r] = acc;
+    }
+}
+
+void
+kAddOuter(float *w, std::size_t rows, std::size_t cols, float eta,
+          const float *d, const float *x)
+{
+    const float *__restrict in = x;
+    for (std::size_t r = 0; r < rows; ++r) {
+        float *__restrict wr = w + r * cols;
+        const float scale = eta * d[r];
+        if (scale == 0.0f)
+            continue;
+        for (std::size_t c = 0; c < cols; ++c)
+            wr[c] += scale * in[c];
+    }
+}
+
+void
+kAddOuterBias(float *w, std::size_t rows, std::size_t cols, float eta,
+              const float *d, const float *x)
+{
+    const float *__restrict in = x;
+    const std::size_t n = cols - 1;
+    for (std::size_t r = 0; r < rows; ++r) {
+        float *__restrict wr = w + r * cols;
+        const float scale = eta * d[r];
+        if (scale == 0.0f)
+            continue;
+        for (std::size_t c = 0; c < n; ++c)
+            wr[c] += scale * in[c];
+        wr[n] += scale; // bias input is the constant 1.
+    }
+}
+
+void
+kAddOuterBiasBatch(float *w, std::size_t rows, std::size_t cols,
+                   float eta, const float *const *deltas,
+                   const float *const *acts, std::size_t batch)
+{
+    const std::size_t n = cols - 1;
+    // Register-tiled accumulation: a kBatchAccTile-float slice of the
+    // weight row is loaded into an accumulator (a handful of vector
+    // registers once vectorised), every sample's contribution is added
+    // into it in sample order, and it is stored back once — so each
+    // weight element moves through memory once per batch instead of
+    // once per sample, and the inner trip count is a compile-time
+    // constant the vectoriser unrolls without checks. The outer
+    // kBatchColGroup loop keeps the activation slices for the whole
+    // minibatch L1-resident while every row streams over them. Per
+    // weight element the adds happen in one rounded float chain in
+    // sample order (b ascending) with the same zero-scale skip —
+    // exactly the FP sequence `batch` sequential kAddOuterBias calls
+    // produce, so the result is bit-identical.
+    constexpr std::size_t kBatchAccTile = 64;
+    constexpr std::size_t kBatchColGroup = 256;
+    for (std::size_t c0 = 0; c0 < n; c0 += kBatchColGroup) {
+        const std::size_t c1 =
+            c0 + kBatchColGroup < n ? c0 + kBatchColGroup : n;
+        for (std::size_t r = 0; r < rows; ++r) {
+            float *__restrict wr = w + r * cols;
+            std::size_t c = c0;
+            for (; c + kBatchAccTile <= c1; c += kBatchAccTile) {
+                float acc[kBatchAccTile];
+                for (std::size_t k = 0; k < kBatchAccTile; ++k)
+                    acc[k] = wr[c + k];
+                for (std::size_t b = 0; b < batch; ++b) {
+                    const float scale = eta * deltas[b][r];
+                    if (scale == 0.0f)
+                        continue;
+                    const float *__restrict x = acts[b] + c;
+                    for (std::size_t k = 0; k < kBatchAccTile; ++k)
+                        acc[k] += scale * x[k];
+                }
+                for (std::size_t k = 0; k < kBatchAccTile; ++k)
+                    wr[c + k] = acc[k];
+            }
+            // Ragged tail of the column group (or of the matrix).
+            if (c < c1) {
+                for (std::size_t b = 0; b < batch; ++b) {
+                    const float scale = eta * deltas[b][r];
+                    if (scale == 0.0f)
+                        continue;
+                    const float *__restrict x = acts[b];
+                    for (std::size_t cc = c; cc < c1; ++cc)
+                        wr[cc] += scale * x[cc];
+                }
+            }
+        }
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+        float *__restrict wr = w + r * cols;
+        for (std::size_t b = 0; b < batch; ++b) {
+            const float scale = eta * deltas[b][r];
+            if (scale != 0.0f)
+                wr[n] += scale; // bias input is the constant 1.
+        }
+    }
+}
+
+void
+kAddScaled(float *dst, const float *src, std::size_t n, float scale)
+{
+    float *__restrict out = dst;
+    const float *__restrict in = src;
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] += scale * in[i];
+}
+
+void
+kAddRowF64(double *acc, const float *row, std::size_t n)
+{
+    double *__restrict out = acc;
+    const float *__restrict in = row;
+    // Independent per-element double chains: the event engine calls
+    // this once per input spike, so element i accumulates its spikes
+    // in emission order whatever the vector width.
+    // neurolint: ordered-sum
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] += static_cast<double>(in[i]);
+}
+
+std::size_t
+kPopcountWords(const uint64_t *words, std::size_t n)
+{
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        total += static_cast<std::size_t>(std::popcount(words[i]));
+    return total;
+}
+
+} // namespace
+
+const KernelTable &
+table()
+{
+    static const KernelTable t = [] {
+        KernelTable kt;
+        kt.name = NEURO_KERNELS_ISA_NAME;
+        kt.isa = NEURO_KERNELS_ISA_ENUM;
+        kt.gemv = kGemv;
+        kt.gemvT = kGemvT;
+        kt.gemvBias = kGemvBias;
+        kt.gemvBiasStrip = kGemvBiasStrip;
+        kt.gemvBiasQ8 = kGemvBiasQ8;
+        kt.addOuter = kAddOuter;
+        kt.addOuterBias = kAddOuterBias;
+        kt.addOuterBiasBatch = kAddOuterBiasBatch;
+        kt.addScaled = kAddScaled;
+        kt.addRowF64 = kAddRowF64;
+        kt.popcountWords = kPopcountWords;
+        return kt;
+    }();
+    return t;
+}
+
+} // namespace NEURO_KERNELS_ISA_NS
+} // namespace kernels
+} // namespace neuro

@@ -1,0 +1,9 @@
+// Baseline kernel table: generic x86-64 (SSE2) / portable codegen.
+// This is the variant NEURO_SIMD=off selects and the reference every
+// wider table must match bit-for-bit.
+
+#define NEURO_KERNELS_ISA_NS scalar
+#define NEURO_KERNELS_ISA_NAME "scalar"
+#define NEURO_KERNELS_ISA_ENUM ::neuro::kernels::SimdIsa::Scalar
+
+#include "neuro/kernels/kernels_body.h"

@@ -6,6 +6,7 @@
 #include "neuro/common/logging.h"
 #include "neuro/common/rng.h"
 #include "neuro/common/serialize.h"
+#include "neuro/kernels/kernels.h"
 
 namespace neuro {
 namespace mlp {
@@ -126,6 +127,41 @@ Mlp::deserialize(const Archive &archive, const std::string &prefix)
         net.weights_.push_back(std::move(w));
     }
     return net;
+}
+
+void
+Mlp::forwardStrip(const float *inputStrip, std::vector<float> &cur,
+                  std::vector<float> &next) const
+{
+    constexpr std::size_t kStrip = kernels::kStripWidth;
+    cur.assign(inputStrip, inputStrip + inputSize() * kStrip);
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+        const Matrix &w = weights_[l];
+        next.resize(w.rows() * kStrip);
+        kernels::gemvBiasStrip(w.data().data(), w.rows(), w.cols(),
+                               cur.data(), next.data());
+        for (float &v : next)
+            v = activation_.apply(v);
+        cur.swap(next);
+    }
+}
+
+void
+argmaxStrip(const float *strip, std::size_t rows, int *classes)
+{
+    constexpr std::size_t kStrip = kernels::kStripWidth;
+    for (std::size_t b = 0; b < kStrip; ++b) {
+        int best = 0;
+        float best_v = strip[b];
+        for (std::size_t r = 1; r < rows; ++r) {
+            const float v = strip[r * kStrip + b];
+            if (v > best_v) {
+                best_v = v;
+                best = static_cast<int>(r);
+            }
+        }
+        classes[b] = best;
+    }
 }
 
 int

@@ -78,6 +78,20 @@ class Mlp
     /** @return argmax class of the output for @p input. */
     int predict(const float *input) const;
 
+    /**
+     * Feed-forward for kernels::kStripWidth samples at once through
+     * the unified SIMD kernel layer. @p inputStrip holds the samples
+     * sample-minor (element k of sample b at
+     * inputStrip[k * kStripWidth + b]; inputSize() * kStripWidth
+     * floats). On return @p cur holds the final layer's activations
+     * in the same strip layout (outputSize() * kStripWidth floats);
+     * @p next is scratch. Both buffers are resized as needed and may
+     * be reused across calls. Per sample the result is bit-identical
+     * to forward().
+     */
+    void forwardStrip(const float *inputStrip, std::vector<float> &cur,
+                      std::vector<float> &next) const;
+
     /** @return mutable weight matrix of layer @p l. */
     Matrix &weights(std::size_t l) { return weights_[l]; }
     /** @return weight matrix of layer @p l. */
@@ -104,6 +118,14 @@ class Mlp
     Activation activation_;
     std::vector<Matrix> weights_;
 };
+
+/**
+ * Argmax per sample of a strip buffer (rows * kernels::kStripWidth
+ * floats, sample-minor), written to @p classes. Ties resolve to the
+ * lowest row — the same first-max-wins rule as std::max_element in
+ * Mlp::predict(), so strip and scalar classification always agree.
+ */
+void argmaxStrip(const float *strip, std::size_t rows, int *classes);
 
 } // namespace mlp
 } // namespace neuro

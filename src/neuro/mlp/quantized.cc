@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "neuro/common/logging.h"
+#include "neuro/kernels/kernels.h"
 
 namespace neuro {
 namespace mlp {
@@ -58,22 +59,23 @@ QuantizedMlp::forward(const uint8_t *pixels, uint8_t *output) const
     // Activations travel as 8-bit unsigned codes for [0,1].
     std::vector<uint8_t> cur(pixels, pixels + inputSize_);
     std::vector<uint8_t> next;
+    std::vector<int32_t> acc;
 
     for (const Layer &layer : layers_) {
         next.assign(layer.fanOut, 0);
+        acc.resize(layer.fanOut);
+        // 32-bit MAC over int8 weights and uint8 activations, plus
+        // the bias weight fed by the constant-1 input (code 255) —
+        // integer arithmetic, so the SIMD kernel is exact whatever
+        // the dispatch width.
+        kernels::gemvBiasQ8(layer.weights.data(), layer.fanOut,
+                            layer.fanIn + 1, cur.data(), acc.data());
         const float inv_scale =
             1.0f / (static_cast<float>(1 << layer.fracBits) * 255.0f);
         for (std::size_t j = 0; j < layer.fanOut; ++j) {
-            const int8_t *row = layer.weights.data() +
-                j * (layer.fanIn + 1);
-            // 32-bit MAC over int8 weights and uint8 activations, plus
-            // the bias weight fed by the constant-1 input (code 255).
-            int32_t acc = static_cast<int32_t>(row[layer.fanIn]) * 255;
-            for (std::size_t i = 0; i < layer.fanIn; ++i)
-                acc += static_cast<int32_t>(row[i]) * cur[i];
             // Dequantize the pre-activation and apply the hardware
             // piecewise-linear sigmoid, then requantize to 8 bits.
-            const float s = static_cast<float>(acc) * inv_scale;
+            const float s = static_cast<float>(acc[j]) * inv_scale;
             const float y = sigmoid_.apply(s);
             next[j] = static_cast<uint8_t>(
                 std::clamp(std::lround(y * 255.0f), 0L, 255L));

@@ -7,6 +7,7 @@
 
 #include "neuro/common/logging.h"
 #include "neuro/common/rng.h"
+#include "neuro/kernels/kernels.h"
 #include "neuro/snn/coding.h"
 
 namespace neuro {
@@ -35,191 +36,9 @@ classCountOf(const std::vector<int> &labels)
 
 // ---------------------------------------------------------------- MLP
 
-/**
- * The strip kernel is compiled once per ISA level with runtime
- * dispatch: the baseline build stays generic x86-64 (SSE2), and on
- * machines with wider vector units the same source runs 8/16 samples
- * per instruction. The clones are bit-identical to each other and to
- * the scalar path because the file is built with -ffp-contract=off
- * (see src/CMakeLists.txt) — wider registers change how many samples
- * move per instruction, never the per-sample mul/add sequence.
- *
- * Sanitizer builds skip the clones: target_clones dispatches through
- * an ifunc resolver that the dynamic loader runs before the sanitizer
- * runtime has initialized, which crashes at startup. The generic
- * build is bit-identical anyway, so sanitizer jobs lose nothing but
- * vector width.
- */
-#if defined(__x86_64__) && defined(__has_attribute) &&                  \
-    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
-#if __has_attribute(target_clones)
-#define NEURO_SERVE_TARGET_CLONES                                       \
-    __attribute__((target_clones("avx512f", "avx2", "default")))
-#endif
-#endif
-#ifndef NEURO_SERVE_TARGET_CLONES
-#define NEURO_SERVE_TARGET_CLONES
-#endif
-
-/** Samples per strip of the batched MLP kernel. */
-constexpr std::size_t kStrip = 16;
-
-/** Output rows computed together per pass over the activation strip. */
-constexpr std::size_t kRowBlock = 4;
-
-/**
- * One output row of a layer over a full strip: four partial
- * accumulators over the columns, merged as (a0+a1)+(a2+a3), then the
- * tail columns, then the bias — exactly Matrix::gemvBias's summation
- * order, so the result is bit-identical to the scalar path.
- */
-NEURO_SERVE_TARGET_CLONES
-inline void
-stripRow(const float *__restrict in, const float *__restrict wr,
-         std::size_t inputs, const mlp::Activation &activation,
-         float *__restrict out)
-{
-    float a0[kStrip] = {}, a1[kStrip] = {};
-    float a2[kStrip] = {}, a3[kStrip] = {};
-    std::size_t c = 0;
-    for (; c + 4 <= inputs; c += 4) {
-        const float *xc = in + c * kStrip;
-        const float w0 = wr[c], w1 = wr[c + 1];
-        const float w2 = wr[c + 2], w3 = wr[c + 3];
-        for (std::size_t b = 0; b < kStrip; ++b) {
-            a0[b] += w0 * xc[b];
-            a1[b] += w1 * xc[kStrip + b];
-            a2[b] += w2 * xc[2 * kStrip + b];
-            a3[b] += w3 * xc[3 * kStrip + b];
-        }
-    }
-    float acc[kStrip];
-    for (std::size_t b = 0; b < kStrip; ++b)
-        acc[b] = (a0[b] + a1[b]) + (a2[b] + a3[b]);
-    for (; c < inputs; ++c) {
-        const float wc = wr[c];
-        for (std::size_t b = 0; b < kStrip; ++b)
-            acc[b] += wc * in[c * kStrip + b];
-    }
-    const float bias = wr[inputs];
-    for (std::size_t b = 0; b < kStrip; ++b)
-        out[b] = activation.apply(acc[b] + bias);
-}
-
-/**
- * kRowBlock output rows in one pass over the strip: each column group
- * of activations is loaded once and feeds every row's accumulators, so
- * the strip (inputSize * kStrip floats — bigger than L1 for MNIST)
- * streams from L2 once per row block instead of once per row. Each
- * row's accumulation is the same (a0+a1)+(a2+a3) schedule as
- * stripRow(); interleaving rows changes which row's add retires next,
- * never the order of adds within a row, so answers stay bit-identical.
- */
-NEURO_SERVE_TARGET_CLONES
-inline void
-stripRowBlock(const float *__restrict in, const float *const *wrs,
-              std::size_t inputs, const mlp::Activation &activation,
-              float *__restrict out)
-{
-    float a[kRowBlock][4][kStrip] = {};
-    std::size_t c = 0;
-    for (; c + 4 <= inputs; c += 4) {
-        const float *xc = in + c * kStrip;
-        for (std::size_t j = 0; j < kRowBlock; ++j) {
-            const float *wr = wrs[j];
-            const float w0 = wr[c], w1 = wr[c + 1];
-            const float w2 = wr[c + 2], w3 = wr[c + 3];
-            for (std::size_t b = 0; b < kStrip; ++b) {
-                a[j][0][b] += w0 * xc[b];
-                a[j][1][b] += w1 * xc[kStrip + b];
-                a[j][2][b] += w2 * xc[2 * kStrip + b];
-                a[j][3][b] += w3 * xc[3 * kStrip + b];
-            }
-        }
-    }
-    for (std::size_t j = 0; j < kRowBlock; ++j) {
-        float acc[kStrip];
-        for (std::size_t b = 0; b < kStrip; ++b)
-            acc[b] = (a[j][0][b] + a[j][1][b]) +
-                     (a[j][2][b] + a[j][3][b]);
-        for (std::size_t ct = c; ct < inputs; ++ct) {
-            const float wc = wrs[j][ct];
-            for (std::size_t b = 0; b < kStrip; ++b)
-                acc[b] += wc * in[ct * kStrip + b];
-        }
-        const float bias = wrs[j][inputs];
-        for (std::size_t b = 0; b < kStrip; ++b)
-            out[j * kStrip + b] = activation.apply(acc[b] + bias);
-    }
-}
-
-/**
- * Feed-forward for exactly kStrip samples, activations in sample-minor
- * SoA layout (X[k * kStrip + b]): every weight element is loaded once
- * per strip instead of once per sample and the inner loops run over a
- * compile-time-width vector of samples with stack-local accumulators,
- * so the compiler vectorizes them without aliasing guards. Arithmetic
- * per sample replicates Matrix::gemvBias exactly (see stripRow) and
- * the argmax keeps std::max_element tie-breaking, so the answers are
- * bit-identical to Mlp::predict().
- */
-NEURO_SERVE_TARGET_CLONES
-void
-mlpStripForward(const mlp::Mlp &net, const uint8_t *const *pixels,
-                std::vector<float> &curBuf, std::vector<float> &nextBuf,
-                int *classes)
-{
-    // Pixel-outer transpose: for each pixel index the destination row
-    // x[k*kStrip..] is one contiguous cache line, so the byte gather
-    // goes through a tiny staging row and the convert/scale vectorizes
-    // into a single sequential write pass over the strip.
-    curBuf.resize(net.inputSize() * kStrip);
-    float *__restrict x = curBuf.data();
-    const uint8_t *src[kStrip];
-    for (std::size_t b = 0; b < kStrip; ++b)
-        src[b] = pixels[b];
-    for (std::size_t k = 0; k < net.inputSize(); ++k) {
-        uint8_t staged[kStrip];
-        for (std::size_t b = 0; b < kStrip; ++b)
-            staged[b] = src[b][k];
-        for (std::size_t b = 0; b < kStrip; ++b)
-            x[k * kStrip + b] = static_cast<float>(staged[b]) / 255.0f;
-    }
-
-    for (std::size_t l = 0; l < net.numLayers(); ++l) {
-        const Matrix &w = net.weights(l);
-        const std::size_t inputs = w.cols() - 1;
-        nextBuf.resize(w.rows() * kStrip);
-        const float *__restrict in = curBuf.data();
-        float *__restrict out = nextBuf.data();
-        std::size_t r = 0;
-        for (; r + kRowBlock <= w.rows(); r += kRowBlock) {
-            const float *wrs[kRowBlock];
-            for (std::size_t j = 0; j < kRowBlock; ++j)
-                wrs[j] = w.row(r + j);
-            stripRowBlock(in, wrs, inputs, net.activation(),
-                          out + r * kStrip);
-        }
-        for (; r < w.rows(); ++r)
-            stripRow(in, w.row(r), inputs, net.activation(),
-                     out + r * kStrip);
-        curBuf.swap(nextBuf);
-    }
-
-    const std::size_t outputs = net.outputSize();
-    for (std::size_t b = 0; b < kStrip; ++b) {
-        int best = 0;
-        float bestV = curBuf[b];
-        for (std::size_t r = 1; r < outputs; ++r) {
-            const float v = curBuf[r * kStrip + b];
-            if (v > bestV) {
-                bestV = v;
-                best = static_cast<int>(r);
-            }
-        }
-        classes[b] = best;
-    }
-}
+/** Samples per strip of the batched MLP path (the kernel layer's
+ *  strip width — see docs/kernels.md). */
+constexpr std::size_t kStrip = kernels::kStripWidth;
 
 class MlpSession final : public BackendSession
 {
@@ -242,10 +61,13 @@ class MlpSession final : public BackendSession
     }
 
     /**
-     * Batch kernel: full strips of kStrip samples go through
-     * mlpStripForward (weight reuse + SIMD across samples); the
-     * sub-strip remainder takes the scalar path. Either way the
-     * answers are bit-identical to per-sample classify().
+     * Batch path: full strips of kStrip samples go through the shared
+     * kernel layer's strip forward (one weight-matrix sweep feeds all
+     * 16 samples, SIMD across them); the sub-strip remainder takes
+     * the scalar path. Mlp::forwardStrip is bit-identical to
+     * Mlp::forward per sample and mlp::argmaxStrip keeps
+     * std::max_element tie-breaking, so the answers always match
+     * per-sample classify().
      */
     void
     classifyBatch(const uint8_t *const *pixels,
@@ -257,14 +79,39 @@ class MlpSession final : public BackendSession
                      numPixels, net_.inputSize());
         std::size_t s = 0;
         for (; s + kStrip <= count; s += kStrip)
-            mlpStripForward(net_, pixels + s, cur_, next_, classes + s);
+            classifyStrip(pixels + s, classes + s);
         for (; s < count; ++s)
             classes[s] = classify(pixels[s], numPixels, streamSeeds[s]);
     }
 
   private:
+    /** Normalize kStrip images into the sample-minor strip layout and
+     *  classify them through the shared kernels. */
+    void
+    classifyStrip(const uint8_t *const *pixels, int *classes)
+    {
+        // Pixel-outer transpose: for each pixel index the destination
+        // row x[k*kStrip..] is one contiguous cache line, so the byte
+        // gather goes through a tiny staging row and the convert/scale
+        // vectorizes into one sequential write pass over the strip.
+        const std::size_t inputs = net_.inputSize();
+        stripIn_.resize(inputs * kStrip);
+        float *__restrict x = stripIn_.data();
+        for (std::size_t k = 0; k < inputs; ++k) {
+            uint8_t staged[kStrip];
+            for (std::size_t b = 0; b < kStrip; ++b)
+                staged[b] = pixels[b][k];
+            for (std::size_t b = 0; b < kStrip; ++b)
+                x[k * kStrip + b] =
+                    static_cast<float>(staged[b]) / 255.0f;
+        }
+        net_.forwardStrip(stripIn_.data(), cur_, next_);
+        mlp::argmaxStrip(cur_.data(), net_.outputSize(), classes);
+    }
+
     const mlp::Mlp &net_;
     std::vector<float> input_;
+    std::vector<float> stripIn_;    ///< SoA input strip.
     std::vector<float> cur_, next_; ///< SoA strip activations.
 };
 

@@ -1,7 +1,6 @@
 #include "neuro/snn/network.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +9,7 @@
 #include "neuro/common/logging.h"
 #include "neuro/common/profile.h"
 #include "neuro/common/rng.h"
+#include "neuro/kernels/kernels.h"
 
 namespace neuro {
 namespace snn {
@@ -362,13 +362,13 @@ SnnNetwork::presentEvents(const PackedSpikeGrid &grid, bool learn)
         // Phase 1: synaptic drive for every neuron via the transposed
         // weights — per neuron, the additions run in the same spike
         // order as the dense row walk, so the sums are bit-identical.
+        // kernels::addRowF64 keeps each neuron's double accumulation
+        // chain independent (it carries the ordered-sum tag), so SIMD
+        // only widens how many neurons move per instruction.
         std::fill(driveScratch_.begin(), driveScratch_.end(), 0.0);
-        // neurolint: ordered-sum
-        for (std::size_t s = 0; s < spike_count; ++s) {
-            const float *__restrict wt = weightsT_.row(spikes[s]);
-            for (std::size_t n = 0; n < num_neurons; ++n)
-                drive[n] += wt[n];
-        }
+        for (std::size_t s = 0; s < spike_count; ++s)
+            kernels::addRowF64(drive, weightsT_.row(spikes[s]),
+                               num_neurons);
 
         // Phase 2: decay-and-integrate the ungated neurons, tracking
         // the WTA winner in the same index-order pass (per-neuron
@@ -414,14 +414,12 @@ SnnNetwork::presentEvents(const PackedSpikeGrid &grid, bool learn)
         }
     }
 
-    // Per-neuron output-spike counts by popcount over the output bit
-    // plane (the MaxSpikeCount readout's accumulator).
+    // Per-neuron output-spike counts by popcount reduction over the
+    // output bit plane (the MaxSpikeCount readout's accumulator).
     for (std::size_t n = 0; n < num_neurons; ++n) {
-        std::size_t count = 0;
-        const uint64_t *row = outSpikeBits_.data() + n * out_words;
-        for (std::size_t w = 0; w < out_words; ++w)
-            count += static_cast<std::size_t>(std::popcount(row[w]));
-        result.spikeCountPerNeuron[n] = static_cast<uint16_t>(count);
+        result.spikeCountPerNeuron[n] =
+            static_cast<uint16_t>(kernels::popcountWords(
+                outSpikeBits_.data() + n * out_words, out_words));
     }
 
     if (obsEnabled()) {

@@ -1,9 +1,9 @@
 #include "neuro/snn/spike_bits.h"
 
 #include <algorithm>
-#include <bit>
 
 #include "neuro/common/logging.h"
+#include "neuro/kernels/kernels.h"
 #include "neuro/snn/coding.h"
 
 namespace neuro {
@@ -102,11 +102,8 @@ std::size_t
 PackedSpikeGrid::countFor(std::size_t input) const
 {
     NEURO_ASSERT(input < numInputs_, "input out of range");
-    const uint64_t *row = bits_.data() + input * wordsPerInput_;
-    std::size_t count = 0;
-    for (std::size_t w = 0; w < wordsPerInput_; ++w)
-        count += static_cast<std::size_t>(std::popcount(row[w]));
-    return count;
+    return kernels::popcountWords(bits_.data() + input * wordsPerInput_,
+                                  wordsPerInput_);
 }
 
 void

@@ -43,6 +43,7 @@
 #include "neuro/core/reports.h"
 #include "neuro/cycle/folded_mlp_sim.h"
 #include "neuro/cycle/folded_snn_sim.h"
+#include "neuro/kernels/kernels.h"
 #include "neuro/mlp/backprop.h"
 #include "neuro/serve/registry.h"
 #include "neuro/serve/server.h"
@@ -86,6 +87,9 @@ cmdList()
         "parallelism: --threads=N (or NEURO_THREADS) sets the worker\n"
         "pool width; 1 = fully serial, default = all hardware threads.\n"
         "results are identical at any setting (docs/parallelism.md).\n"
+        "simd: --simd=auto|off|avx2|avx512 (or NEURO_SIMD) picks the\n"
+        "vector kernel table; results are bit-identical at every level\n"
+        "(docs/kernels.md).\n"
         "for the full per-table reproduction, run the bench/ binaries.\n");
     return 0;
 }
@@ -526,6 +530,7 @@ main(int argc, char **argv)
     cfg.parseArgs(argc, argv);
     initObservability(cfg);
     initParallel(cfg);
+    kernels::initKernels(cfg);
     const char *cmd = argc > 1 ? argv[1] : "list";
 
     if (std::strcmp(cmd, "list") == 0 || std::strcmp(cmd, "help") == 0)
