@@ -1,0 +1,26 @@
+# Clang Thread Safety Analysis: compile-time lock-discipline checking
+# against the NEURO_GUARDED_BY / NEURO_REQUIRES / NEURO_ACQUIRED_BEFORE
+# annotations (src/neuro/common/thread_annotations.h).
+#
+#   -DNEURO_TSA=ON   add -Wthread-safety -Wthread-safety-beta (clang)
+#
+# The annotations compile to nothing on other compilers, so the option
+# is harmless but useless there — a warning says so. -Wthread-safety-beta
+# is what enables the acquired_before/after lock-order checking. Pair
+# with NEURO_WERROR=ON (the `tsa` preset does) to make every violation
+# a build break; see docs/static_analysis.md for reading the
+# diagnostics.
+
+option(NEURO_TSA "Enable Clang thread-safety analysis warnings" OFF)
+
+if(NEURO_TSA)
+    if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+        add_compile_options(-Wthread-safety -Wthread-safety-beta)
+        message(STATUS "Thread-safety analysis: -Wthread-safety on")
+    else()
+        message(WARNING
+                "NEURO_TSA=ON requires clang; ${CMAKE_CXX_COMPILER_ID} "
+                "cannot run the analysis (the annotations compile to "
+                "no-ops, so the build still works — unchecked).")
+    endif()
+endif()

@@ -2,17 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "neuro/common/config.h"
 #include "neuro/common/logging.h"
+#include "neuro/common/mutex.h"
 #include "neuro/common/profile.h"
 
 namespace neuro {
@@ -35,6 +34,8 @@ hardwareThreads()
 std::size_t
 envThreadCount()
 {
+    // Startup-only read; nothing in the process calls setenv.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *env = std::getenv("NEURO_THREADS");
     if (env && *env) {
         char *end = nullptr;
@@ -65,9 +66,9 @@ struct RangeJob
     std::atomic<std::size_t> chunksDone{0};
     std::atomic<bool> failed{false};
 
-    std::mutex mutex;
-    std::condition_variable allDone;
-    std::exception_ptr error;
+    Mutex mutex;
+    CondVar allDone;
+    std::exception_ptr error NEURO_GUARDED_BY(mutex);
 
     bool
     exhausted() const
@@ -99,7 +100,7 @@ struct RangeJob
                     NEURO_PROFILE_SCOPE("parallel/chunk");
                     (*fn)(i0, i1);
                 } catch (...) {
-                    std::lock_guard<std::mutex> lock(mutex);
+                    MutexGuard lock(mutex);
                     if (!error)
                         error = std::current_exception();
                     failed.store(true, std::memory_order_relaxed);
@@ -108,8 +109,8 @@ struct RangeJob
             const std::size_t done =
                 chunksDone.fetch_add(1, std::memory_order_acq_rel) + 1;
             if (done == numChunks) {
-                std::lock_guard<std::mutex> lock(mutex);
-                allDone.notify_all();
+                MutexGuard lock(mutex);
+                allDone.notifyAll();
             }
         }
     }
@@ -119,17 +120,19 @@ struct RangeJob
 
 struct ThreadPool::Impl
 {
-    std::mutex mutex;               ///< guards workers/queue/shutdown.
-    std::condition_variable wake;   ///< signals workers about new jobs.
-    std::vector<std::thread> workers;
-    std::deque<std::shared_ptr<RangeJob>> queue;
-    std::size_t threadCount = 0;    ///< 0 = not yet resolved.
-    bool shutdown = false;
-
-    /** Guards lazy startup and reconfiguration. */
-    std::mutex configMutex;
+    /** Lock order (outermost first): configMutex / runMutex are never
+     *  taken by worker threads and always precede the queue mutex. */
+    Mutex configMutex NEURO_ACQUIRED_BEFORE(mutex);
     /** Serializes top-level forRange calls so one job owns the pool. */
-    std::mutex runMutex;
+    Mutex runMutex NEURO_ACQUIRED_BEFORE(mutex);
+    /** Guards the job queue and the shutdown flag. */
+    Mutex mutex;
+    CondVar wake; ///< signals workers about new jobs.
+
+    std::vector<std::thread> workers NEURO_GUARDED_BY(configMutex);
+    std::size_t threadCount NEURO_GUARDED_BY(configMutex) = 0;
+    std::deque<std::shared_ptr<RangeJob>> queue NEURO_GUARDED_BY(mutex);
+    bool shutdown NEURO_GUARDED_BY(mutex) = false;
 
     void
     workerLoop()
@@ -137,10 +140,9 @@ struct ThreadPool::Impl
         for (;;) {
             std::shared_ptr<RangeJob> job;
             {
-                std::unique_lock<std::mutex> lock(mutex);
-                wake.wait(lock, [this] {
-                    return shutdown || !queue.empty();
-                });
+                MutexGuard lock(mutex);
+                while (!shutdown && queue.empty())
+                    wake.wait(mutex);
                 if (shutdown)
                     return;
                 job = queue.front();
@@ -154,6 +156,36 @@ struct ThreadPool::Impl
             job->work();
             --t_parallelDepth;
         }
+    }
+
+    void
+    startWorkersLocked(std::size_t count) NEURO_REQUIRES(configMutex)
+    {
+        {
+            MutexGuard lock(mutex);
+            shutdown = false;
+        }
+        threadCount = count == 0 ? hardwareThreads() : count;
+        // The calling thread participates, so n threads of parallelism
+        // need n - 1 workers; 1 means fully serial with no workers.
+        const std::size_t n = threadCount - 1;
+        workers.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+
+    void
+    stopWorkersLocked() NEURO_REQUIRES(configMutex)
+    {
+        {
+            MutexGuard lock(mutex);
+            shutdown = true;
+        }
+        wake.notifyAll();
+        for (auto &w : workers)
+            w.join();
+        workers.clear();
+        threadCount = 0;
     }
 };
 
@@ -169,63 +201,39 @@ ThreadPool::ThreadPool() : impl_(new Impl()) {}
 ThreadPool::~ThreadPool()
 {
     if (impl_) {
-        if (impl_->threadCount != 0)
-            stopWorkers();
+        {
+            MutexGuard lock(impl_->configMutex);
+            if (impl_->threadCount != 0)
+                impl_->stopWorkersLocked();
+        }
         delete impl_;
     }
 }
 
-void
+std::size_t
 ThreadPool::ensureStarted()
 {
     // instance() construction is thread-safe; impl_ is created there,
     // so only the worker startup needs the config lock.
-    std::lock_guard<std::mutex> lock(impl_->configMutex);
+    MutexGuard lock(impl_->configMutex);
     if (impl_->threadCount == 0)
-        startWorkers(envThreadCount());
-}
-
-void
-ThreadPool::startWorkers(std::size_t count)
-{
-    impl_->threadCount = count == 0 ? hardwareThreads() : count;
-    impl_->shutdown = false;
-    // The calling thread participates, so n threads of parallelism
-    // need n - 1 workers; 1 means fully serial with no workers at all.
-    const std::size_t workers = impl_->threadCount - 1;
-    impl_->workers.reserve(workers);
-    for (std::size_t i = 0; i < workers; ++i)
-        impl_->workers.emplace_back([this] { impl_->workerLoop(); });
-}
-
-void
-ThreadPool::stopWorkers()
-{
-    {
-        std::lock_guard<std::mutex> lock(impl_->mutex);
-        impl_->shutdown = true;
-    }
-    impl_->wake.notify_all();
-    for (auto &w : impl_->workers)
-        w.join();
-    impl_->workers.clear();
-    impl_->threadCount = 0;
+        impl_->startWorkersLocked(envThreadCount());
+    return impl_->threadCount;
 }
 
 std::size_t
 ThreadPool::threadCount()
 {
-    ensureStarted();
-    return impl_->threadCount;
+    return ensureStarted();
 }
 
 void
 ThreadPool::setThreadCount(std::size_t n)
 {
-    std::lock_guard<std::mutex> lock(impl_->configMutex);
+    MutexGuard lock(impl_->configMutex);
     if (impl_->threadCount != 0)
-        stopWorkers();
-    startWorkers(n);
+        impl_->stopWorkersLocked();
+    impl_->startWorkersLocked(n);
 }
 
 bool
@@ -240,9 +248,8 @@ ThreadPool::forRange(std::size_t begin, std::size_t end,
 {
     if (begin >= end)
         return;
-    ensureStarted();
+    const std::size_t threads = ensureStarted();
     const std::size_t n = end - begin;
-    const std::size_t threads = impl_->threadCount;
 
     // Serial fallback: configured serial, nested inside a pool task,
     // or a range too small to be worth sharding. Chunks still execute
@@ -266,12 +273,12 @@ ThreadPool::forRange(std::size_t begin, std::size_t end,
 
     // One top-level job at a time: concurrent callers queue up here
     // rather than interleaving chunks in the worker queue.
-    std::lock_guard<std::mutex> run(impl_->runMutex);
+    MutexGuard run(impl_->runMutex);
     {
-        std::lock_guard<std::mutex> lock(impl_->mutex);
+        MutexGuard lock(impl_->mutex);
         impl_->queue.push_back(job);
     }
-    impl_->wake.notify_all();
+    impl_->wake.notifyAll();
 
     // The caller claims chunks alongside the workers.
     ++t_parallelDepth;
@@ -279,20 +286,26 @@ ThreadPool::forRange(std::size_t begin, std::size_t end,
     --t_parallelDepth;
 
     {
-        std::unique_lock<std::mutex> lock(job->mutex);
-        job->allDone.wait(lock, [&job] { return job->complete(); });
+        MutexGuard lock(job->mutex);
+        while (!job->complete())
+            job->allDone.wait(job->mutex);
     }
     {
         // Retire the job from the queue if no worker got to it first.
-        std::lock_guard<std::mutex> lock(impl_->mutex);
+        MutexGuard lock(impl_->mutex);
         auto &q = impl_->queue;
         q.erase(std::remove(q.begin(), q.end(), job), q.end());
     }
 
     if (obsEnabled())
         obsCount("parallel.chunks", job->numChunks);
-    if (job->error)
-        std::rethrow_exception(job->error);
+    std::exception_ptr error;
+    {
+        MutexGuard lock(job->mutex);
+        error = job->error;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 std::size_t

@@ -93,9 +93,11 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     struct Impl;
-    void ensureStarted();
-    void startWorkers(std::size_t workers);
-    void stopWorkers();
+
+    /** Lazily start the workers; @return the resolved thread count.
+     *  All locking lives in Impl, whose members carry the TSA
+     *  annotations (common/thread_annotations.h). */
+    std::size_t ensureStarted();
 
     Impl *impl_ = nullptr;
 };

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "neuro/common/config.h"
 #include "neuro/common/logging.h"
+#include "neuro/common/mutex.h"
 #include "neuro/telemetry/telemetry.h"
 
 namespace neuro {
@@ -23,30 +23,31 @@ struct ExitHook
     std::function<void()> fn;
 };
 
-std::mutex &
-exitHookMutex()
+/** Registered hooks behind one lock, like telemetry's GlobalTelemetry. */
+struct ExitHookState
 {
-    static std::mutex mutex;
-    return mutex;
-}
+    Mutex mutex;
+    std::vector<ExitHook> hooks NEURO_GUARDED_BY(mutex);
+};
 
-std::vector<ExitHook> &
-exitHooks()
+ExitHookState &
+exitHookState()
 {
     // Leaked so late registrations during exit never touch a
     // destroyed vector.
-    static std::vector<ExitHook> *hooks = new std::vector<ExitHook>();
-    return *hooks;
+    static ExitHookState *state = new ExitHookState();
+    return *state;
 }
 
 /** Run every registered hook in priority order (registered once). */
 void
 observabilityAtExit()
 {
+    ExitHookState &state = exitHookState();
     std::vector<ExitHook> hooks;
     {
-        std::lock_guard<std::mutex> lock(exitHookMutex());
-        hooks = exitHooks();
+        MutexGuard lock(state.mutex);
+        hooks = state.hooks;
     }
     std::stable_sort(hooks.begin(), hooks.end(),
                      [](const ExitHook &a, const ExitHook &b) {
@@ -88,7 +89,10 @@ struct EnvObservabilityInit
 {
     EnvObservabilityInit()
     {
+        // Static-init, single-threaded; nothing here races setenv.
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
         const char *trace = std::getenv("NEURO_TRACE");
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
         const char *dump = std::getenv("NEURO_STATS_DUMP");
         bool any = false;
         if (trace && *trace)
@@ -100,10 +104,12 @@ struct EnvObservabilityInit
             // A trace without timings is half a story; keep them in sync.
             Profiler::instance().setEnabled(true);
         }
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
         const char *metrics = std::getenv("NEURO_METRICS");
         if (metrics && *metrics) {
             telemetry::TelemetryConfig tcfg;
             tcfg.path = metrics;
+            // NOLINTNEXTLINE(concurrency-mt-unsafe)
             const char *period =
                 std::getenv("NEURO_METRICS_PERIOD_MS");
             if (period && *period) {
@@ -138,21 +144,21 @@ Profiler::setEnabled(bool on)
 void
 Profiler::recordScope(const char *name, double seconds)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     stats_.sample(std::string("scope/") + name, seconds);
 }
 
 void
 Profiler::inc(const std::string &name, uint64_t delta)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     stats_.inc(name, delta);
 }
 
 uint64_t
 Profiler::incAndGet(const std::string &name, uint64_t delta)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     stats_.inc(name, delta);
     return stats_.counter(name);
 }
@@ -160,28 +166,28 @@ Profiler::incAndGet(const std::string &name, uint64_t delta)
 void
 Profiler::sample(const std::string &name, double v)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     stats_.sample(name, v);
 }
 
 StatRegistry
 Profiler::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     return stats_;
 }
 
 void
 Profiler::dump(std::ostream &os) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     stats_.dump(os);
 }
 
 void
 Profiler::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     stats_.reset();
 }
 
@@ -239,9 +245,10 @@ void
 addObservabilityExitHook(int priority, std::function<void()> hook)
 {
     registerAtExitOnce();
-    std::lock_guard<std::mutex> lock(exitHookMutex());
-    auto &hooks = exitHooks();
-    hooks.push_back({priority, hooks.size(), std::move(hook)});
+    ExitHookState &state = exitHookState();
+    MutexGuard lock(state.mutex);
+    state.hooks.push_back(
+        {priority, state.hooks.size(), std::move(hook)});
 }
 
 } // namespace neuro

@@ -40,6 +40,7 @@
 #include <ostream>
 #include <string>
 
+#include "neuro/common/mutex.h"
 #include "neuro/common/stats.h"
 #include "neuro/common/trace.h"
 
@@ -91,8 +92,8 @@ class Profiler
     Profiler &operator=(const Profiler &) = delete;
 
     std::atomic<bool> active_{false};
-    mutable std::mutex mutex_;
-    StatRegistry stats_;
+    mutable Mutex mutex_;
+    StatRegistry stats_ NEURO_GUARDED_BY(mutex_);
 };
 
 /**

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Portable Clang Thread Safety Analysis (TSA) attribute macros.
+ *
+ * TSA turns lock discipline into a compile-time invariant: members
+ * declared NEURO_GUARDED_BY(m) may only be touched while `m` is held,
+ * functions declared NEURO_REQUIRES(m) may only be called with `m`
+ * held, and NEURO_ACQUIRED_BEFORE edges let the analysis reject any
+ * acquisition order that inverts the documented ranking. The analysis
+ * itself runs only under clang with `-Wthread-safety` (the `tsa`
+ * preset / CI job, see docs/static_analysis.md); under GCC every
+ * macro expands to nothing, so annotated code builds identically
+ * everywhere.
+ *
+ * The annotations attach to the neuro::Mutex / MutexGuard / CondVar
+ * wrapper (common/mutex.h), which is what concurrent library code
+ * uses instead of raw std::mutex — neurolint rule R6 enforces that on
+ * GCC-only checkouts, where TSA cannot.
+ *
+ * Attribute placement follows the Clang TSA documentation: type
+ * attributes (NEURO_CAPABILITY, NEURO_SCOPED_CAPABILITY) go between
+ * `class` and the class name; member/function attributes go after the
+ * declarator, before the body or the terminating semicolon.
+ */
+
+#pragma once
+
+#if defined(__clang__)
+#define NEURO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NEURO_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define NEURO_CAPABILITY(x) NEURO_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type whose lifetime holds a capability. */
+#define NEURO_SCOPED_CAPABILITY NEURO_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while @p x is held. */
+#define NEURO_GUARDED_BY(x) NEURO_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee readable/writable only while @p x is held. */
+#define NEURO_PT_GUARDED_BY(x) NEURO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Lock-order edge: this capability ranks before the arguments. */
+#define NEURO_ACQUIRED_BEFORE(...) \
+    NEURO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/** Lock-order edge: this capability ranks after the arguments. */
+#define NEURO_ACQUIRED_AFTER(...) \
+    NEURO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Callers must already hold the listed capabilities. */
+#define NEURO_REQUIRES(...) \
+    NEURO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** The function acquires the listed capabilities (and doesn't release). */
+#define NEURO_ACQUIRE(...) \
+    NEURO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** The function releases the listed capabilities. */
+#define NEURO_RELEASE(...) \
+    NEURO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Try-lock: acquires the capability iff the return value is @p b. */
+#define NEURO_TRY_ACQUIRE(...) \
+    NEURO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Callers must NOT hold the listed capabilities (deadlock guard). */
+#define NEURO_EXCLUDES(...) \
+    NEURO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** The function returns a reference to the named capability. */
+#define NEURO_RETURN_CAPABILITY(x) \
+    NEURO_THREAD_ANNOTATION(lock_returned(x))
+
+/** Opt a function out of the analysis (document why at the site). */
+#define NEURO_NO_THREAD_SAFETY_ANALYSIS \
+    NEURO_THREAD_ANNOTATION(no_thread_safety_analysis)

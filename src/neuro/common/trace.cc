@@ -51,7 +51,7 @@ Tracer::~Tracer()
 bool
 Tracer::start(const std::string &path)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     if (out_) {
         warn("trace already active; ignoring start('%s')", path.c_str());
         return false;
@@ -72,7 +72,7 @@ Tracer::start(const std::string &path)
 void
 Tracer::stop()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     if (!out_)
         return;
     active_.store(false, std::memory_order_relaxed);
@@ -114,21 +114,21 @@ Tracer::emitLocked(const char *name, const char *cat, char phase,
 void
 Tracer::begin(const char *name, const char *cat)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     emitLocked(name, cat, 'B', "");
 }
 
 void
 Tracer::end(const char *name, const char *cat)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     emitLocked(name, cat, 'E', "");
 }
 
 void
 Tracer::instant(const char *name, const char *cat)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     emitLocked(name, cat, 'i', ",\"s\":\"t\"");
 }
 
@@ -138,7 +138,7 @@ Tracer::counter(const char *name, double value)
     char extra[64];
     std::snprintf(extra, sizeof(extra), ",\"args\":{\"value\":%.6g}",
                   value);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     emitLocked(name, "counter", 'C', extra);
 }
 
@@ -150,7 +150,7 @@ Tracer::asyncSpan(const char *name, const char *cat, char phase,
     char extra[48];
     std::snprintf(extra, sizeof(extra), ",\"id\":\"0x%" PRIx64 "\"",
                   id);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     const double tsUs =
         std::chrono::duration<double, std::micro>(when - epoch_)
             .count();

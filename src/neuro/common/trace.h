@@ -36,8 +36,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
+
+#include "neuro/common/mutex.h"
 
 namespace neuro {
 
@@ -95,21 +96,22 @@ class Tracer
     Tracer(const Tracer &) = delete;
     Tracer &operator=(const Tracer &) = delete;
 
-    /** Serialize one event line; assumes mutex_ is held. @p tsUs is
-     *  the event timestamp (us since start()), or a negative value to
-     *  stamp "now". */
+    /** Serialize one event line. @p tsUs is the event timestamp (us
+     *  since start()), or a negative value to stamp "now". */
     void emitLocked(const char *name, const char *cat, char phase,
-                    const char *extra, double tsUs = -1.0);
+                    const char *extra, double tsUs = -1.0)
+        NEURO_REQUIRES(mutex_);
 
-    /** Microseconds since start(); assumes mutex_ is held. */
-    double elapsedUs() const;
+    /** Microseconds since start(). */
+    double elapsedUs() const NEURO_REQUIRES(mutex_);
 
     std::atomic<bool> active_{false};
-    std::mutex mutex_;
-    std::FILE *out_ = nullptr;
-    bool firstEvent_ = true;
-    int eventsSinceFlush_ = 0;
-    std::chrono::steady_clock::time_point epoch_;
+    mutable Mutex mutex_;
+    std::FILE *out_ NEURO_GUARDED_BY(mutex_) = nullptr;
+    bool firstEvent_ NEURO_GUARDED_BY(mutex_) = true;
+    int eventsSinceFlush_ NEURO_GUARDED_BY(mutex_) = 0;
+    std::chrono::steady_clock::time_point
+        epoch_ NEURO_GUARDED_BY(mutex_);
 };
 
 } // namespace neuro

@@ -27,12 +27,12 @@ bool
 RequestQueue::push(PendingRequest &&pending)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexGuard lock(mutex_);
         if (closed_ || items_.size() >= capacity_)
             return false;
         items_.push_back(std::move(pending));
     }
-    nonEmpty_.notify_one();
+    nonEmpty_.notifyOne();
     return true;
 }
 
@@ -40,23 +40,23 @@ void
 RequestQueue::close()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexGuard lock(mutex_);
         closed_ = true;
     }
-    nonEmpty_.notify_all();
+    nonEmpty_.notifyAll();
 }
 
 bool
 RequestQueue::closed() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     return closed_;
 }
 
 std::size_t
 RequestQueue::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     return items_.size();
 }
 
@@ -70,18 +70,23 @@ std::vector<PendingRequest>
 MicroBatcher::nextBatch(int64_t idleTimeoutMicros)
 {
     std::vector<PendingRequest> batch;
-    std::unique_lock<std::mutex> lock(queue_.mutex_);
+    MutexGuard lock(queue_.mutex_);
 
     // Phase 1: wait for the first request (or close / idle timeout).
+    // Explicit wait loops, not predicate lambdas: the thread-safety
+    // analysis cannot see guarded members through a lambda.
     if (idleTimeoutMicros < 0) {
-        queue_.nonEmpty_.wait(lock, [&] {
-            return !queue_.items_.empty() || queue_.closed_;
-        });
+        while (queue_.items_.empty() && !queue_.closed_)
+            queue_.nonEmpty_.wait(queue_.mutex_);
     } else {
-        queue_.nonEmpty_.wait_for(
-            lock, std::chrono::microseconds(idleTimeoutMicros), [&] {
-                return !queue_.items_.empty() || queue_.closed_;
-            });
+        const auto idleUntil =
+            ServeClock::now() +
+            std::chrono::microseconds(idleTimeoutMicros);
+        while (queue_.items_.empty() && !queue_.closed_) {
+            if (queue_.nonEmpty_.waitUntil(queue_.mutex_, idleUntil) ==
+                std::cv_status::timeout)
+                break;
+        }
     }
     if (queue_.items_.empty())
         return batch; // idle-timer flush, or closed and drained.
@@ -90,18 +95,17 @@ MicroBatcher::nextBatch(int64_t idleTimeoutMicros)
     // up to maxBatch, but no longer than maxWaitMicros past the open,
     // never past the earliest deadline in hand, and not at all once
     // the queue is closed (shutdown drains at full speed).
-    auto take = [&] {
-        batch.push_back(std::move(queue_.items_.front()));
-        queue_.items_.pop_front();
-        // End of the request's queue stage / start of batch assembly.
-        batch.back().dequeueTime = ServeClock::now();
-    };
-    take();
+    batch.push_back(std::move(queue_.items_.front()));
+    queue_.items_.pop_front();
+    // End of the request's queue stage / start of batch assembly.
+    batch.back().dequeueTime = ServeClock::now();
     auto fillUntil =
         ServeClock::now() + std::chrono::microseconds(policy_.maxWaitMicros);
     while (batch.size() < policy_.maxBatch) {
         if (!queue_.items_.empty()) {
-            take();
+            batch.push_back(std::move(queue_.items_.front()));
+            queue_.items_.pop_front();
+            batch.back().dequeueTime = ServeClock::now();
             continue;
         }
         if (queue_.closed_)
@@ -112,7 +116,7 @@ MicroBatcher::nextBatch(int64_t idleTimeoutMicros)
         }
         if (ServeClock::now() >= fillUntil)
             break;
-        if (queue_.nonEmpty_.wait_until(lock, fillUntil) ==
+        if (queue_.nonEmpty_.waitUntil(queue_.mutex_, fillUntil) ==
             std::cv_status::timeout)
             break;
     }

@@ -18,12 +18,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <vector>
+
+#include "neuro/common/mutex.h"
 
 namespace neuro {
 namespace serve {
@@ -113,12 +113,15 @@ class RequestQueue
 
   private:
     friend class MicroBatcher;
+    /** The server's stop lock is ordered before mutex_
+     *  (NEURO_ACQUIRED_BEFORE in server.h), which needs the name. */
+    friend class InferenceServer;
 
-    mutable std::mutex mutex_;
-    std::condition_variable nonEmpty_;
-    std::deque<PendingRequest> items_;
-    std::size_t capacity_;
-    bool closed_ = false;
+    mutable Mutex mutex_;
+    CondVar nonEmpty_;
+    std::deque<PendingRequest> items_ NEURO_GUARDED_BY(mutex_);
+    const std::size_t capacity_;
+    bool closed_ NEURO_GUARDED_BY(mutex_) = false;
 };
 
 /** Batch formation policy. */

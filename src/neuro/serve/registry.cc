@@ -13,14 +13,14 @@ void
 ModelRegistry::add(const std::string &name,
                    std::shared_ptr<InferenceBackend> backend)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     backends_[name] = std::move(backend);
 }
 
 std::shared_ptr<InferenceBackend>
 ModelRegistry::find(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     const auto it = backends_.find(name);
     return it == backends_.end() ? nullptr : it->second;
 }
@@ -28,14 +28,14 @@ ModelRegistry::find(const std::string &name) const
 bool
 ModelRegistry::remove(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     return backends_.erase(name) != 0;
 }
 
 std::vector<std::string>
 ModelRegistry::names() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     std::vector<std::string> out;
     out.reserve(backends_.size());
     for (const auto &entry : backends_)

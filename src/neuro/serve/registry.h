@@ -15,10 +15,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "neuro/common/mutex.h"
 #include "neuro/serve/backend.h"
 
 namespace neuro {
@@ -63,8 +63,9 @@ class ModelRegistry
                                       std::string *error = nullptr);
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::shared_ptr<InferenceBackend>> backends_;
+    mutable Mutex mutex_;
+    std::map<std::string, std::shared_ptr<InferenceBackend>>
+        backends_ NEURO_GUARDED_BY(mutex_);
 };
 
 } // namespace serve

@@ -25,7 +25,7 @@ std::unique_ptr<BackendSession>
 InferenceServer::SessionPool::acquire()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexGuard lock(mutex_);
         if (!idle_.empty()) {
             std::unique_ptr<BackendSession> session =
                 std::move(idle_.back());
@@ -40,7 +40,7 @@ void
 InferenceServer::SessionPool::release(
     std::unique_ptr<BackendSession> session)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     idle_.push_back(std::move(session));
 }
 
@@ -122,8 +122,10 @@ InferenceServer::submit(InferenceRequest request)
 void
 InferenceServer::stop()
 {
-    std::lock_guard<std::mutex> lock(stopMutex_);
-    if (stopped_.exchange(true))
+    MutexGuard lock(stopMutex_);
+    // Relaxed is enough: stopMutex_ orders concurrent stop() calls,
+    // and the flag is only a revisit guard, not a publication point.
+    if (stopped_.exchange(true, std::memory_order_relaxed))
         return;
     queue_.close();
     if (dispatcher_.joinable())

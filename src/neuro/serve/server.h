@@ -32,10 +32,10 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "neuro/common/mutex.h"
 #include "neuro/serve/backend.h"
 #include "neuro/serve/queue.h"
 #include "neuro/telemetry/histogram.h"
@@ -170,8 +170,9 @@ class InferenceServer
 
       private:
         const InferenceBackend &backend_;
-        std::mutex mutex_;
-        std::vector<std::unique_ptr<BackendSession>> idle_;
+        Mutex mutex_;
+        std::vector<std::unique_ptr<BackendSession>>
+            idle_ NEURO_GUARDED_BY(mutex_);
     };
 
     void dispatchLoop();
@@ -223,7 +224,11 @@ class InferenceServer
     std::atomic<uint64_t> fallbacks_{0};
 
     std::atomic<bool> stopped_{false};
-    std::mutex stopMutex_;
+    /** Serializes stop() against itself; stop() closes the queue while
+     *  holding it, giving the documented order: server stop lock
+     *  before the queue lock (docs/static_analysis.md). */
+    Mutex stopMutex_ NEURO_ACQUIRED_BEFORE(queue_.mutex_);
+    /** Written once in the constructor, joined under stopMutex_. */
     std::thread dispatcher_;
 };
 

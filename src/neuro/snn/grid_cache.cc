@@ -78,7 +78,7 @@ GridCache::GridCache(std::size_t budget_bytes)
 std::shared_ptr<const PackedSpikeGrid>
 GridCache::find(const GridKey &key)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     auto it = map_.find(key);
     if (it == map_.end()) {
         ++stats_.misses;
@@ -94,7 +94,7 @@ GridCache::find(const GridKey &key)
 std::shared_ptr<const PackedSpikeGrid>
 GridCache::insert(const GridKey &key, PackedSpikeGrid &&grid)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     auto it = map_.find(key);
     if (it != map_.end()) {
         // A concurrent worker encoded the same key; keep the resident
@@ -136,7 +136,7 @@ GridCache::evictToBudgetLocked()
 void
 GridCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     lru_.clear();
     map_.clear();
     stats_.bytes = 0;
@@ -146,7 +146,7 @@ GridCache::clear()
 GridCacheStats
 GridCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     return stats_;
 }
 

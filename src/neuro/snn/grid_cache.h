@@ -21,9 +21,9 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "neuro/common/mutex.h"
 #include "neuro/snn/spike_bits.h"
 
 namespace neuro {
@@ -113,13 +113,15 @@ class GridCache
         std::size_t operator()(const GridKey &k) const;
     };
 
-    void evictToBudgetLocked();
+    void evictToBudgetLocked() NEURO_REQUIRES(mutex_);
 
     const std::size_t budgetBytes_;
-    mutable std::mutex mutex_;
-    std::list<Entry> lru_; ///< front = most recently used.
-    std::unordered_map<GridKey, std::list<Entry>::iterator, KeyHash> map_;
-    GridCacheStats stats_;
+    mutable Mutex mutex_;
+    /** front = most recently used. */
+    std::list<Entry> lru_ NEURO_GUARDED_BY(mutex_);
+    std::unordered_map<GridKey, std::list<Entry>::iterator, KeyHash>
+        map_ NEURO_GUARDED_BY(mutex_);
+    GridCacheStats stats_ NEURO_GUARDED_BY(mutex_);
 };
 
 } // namespace snn

@@ -19,7 +19,7 @@ void
 MetricRegistry::assertKindFree(const std::string &name,
                                const char *kind) const
 {
-    // mutex_ is held by the caller.
+    // mutex_ is held by the caller (enforced by NEURO_REQUIRES).
     const bool taken = (counters_.count(name) != 0 ||
                         gauges_.count(name) != 0 ||
                         histograms_.count(name) != 0);
@@ -32,7 +32,7 @@ MetricRegistry::assertKindFree(const std::string &name,
 std::shared_ptr<Counter>
 MetricRegistry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     auto it = counters_.find(name);
     if (it != counters_.end())
         return it->second;
@@ -45,7 +45,7 @@ MetricRegistry::counter(const std::string &name)
 std::shared_ptr<Gauge>
 MetricRegistry::gauge(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     auto it = gauges_.find(name);
     if (it != gauges_.end())
         return it->second;
@@ -58,7 +58,7 @@ MetricRegistry::gauge(const std::string &name)
 std::shared_ptr<LatencyHistogram>
 MetricRegistry::histogram(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     auto it = histograms_.find(name);
     if (it != histograms_.end())
         return it->second;
@@ -72,7 +72,7 @@ MetricsSnapshot
 MetricRegistry::snapshot() const
 {
     MetricsSnapshot snap;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     snap.counters.reserve(counters_.size());
     for (const auto &[name, metric] : counters_)
         snap.counters.push_back({name, metric->value()});
@@ -88,7 +88,7 @@ MetricRegistry::snapshot() const
 void
 MetricRegistry::resetValues()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     for (auto &[name, metric] : counters_)
         metric->reset();
     for (auto &[name, metric] : gauges_)
@@ -100,7 +100,7 @@ MetricRegistry::resetValues()
 std::size_t
 MetricRegistry::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexGuard lock(mutex_);
     return counters_.size() + gauges_.size() + histograms_.size();
 }
 

@@ -31,10 +31,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "neuro/common/mutex.h"
 #include "neuro/telemetry/histogram.h"
 
 namespace neuro {
@@ -154,14 +154,16 @@ class MetricRegistry
 
   private:
     /** Panics if @p name is registered under a different kind. */
-    void assertKindFree(const std::string &name,
-                        const char *kind) const;
+    void assertKindFree(const std::string &name, const char *kind) const
+        NEURO_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::map<std::string, std::shared_ptr<Counter>> counters_;
-    std::map<std::string, std::shared_ptr<Gauge>> gauges_;
+    mutable Mutex mutex_;
+    std::map<std::string, std::shared_ptr<Counter>>
+        counters_ NEURO_GUARDED_BY(mutex_);
+    std::map<std::string, std::shared_ptr<Gauge>>
+        gauges_ NEURO_GUARDED_BY(mutex_);
     std::map<std::string, std::shared_ptr<LatencyHistogram>>
-        histograms_;
+        histograms_ NEURO_GUARDED_BY(mutex_);
 };
 
 } // namespace telemetry

@@ -24,29 +24,32 @@ Sampler::~Sampler()
 void
 Sampler::start()
 {
+    MutexGuard lifecycle(lifecycleMutex_);
+    if (running_)
+        return;
     {
-        std::lock_guard<std::mutex> lock(wakeMutex_);
-        if (running_)
-            return;
-        running_ = true;
+        MutexGuard lock(wakeMutex_);
         stopping_ = false;
     }
+    running_ = true;
     thread_ = std::thread([this] { loop(); });
 }
 
 void
 Sampler::stop()
 {
+    // The lifecycle lock is held across join() so two concurrent
+    // stop() calls cannot both reach thread_.join(); the loop only
+    // takes wakeMutex_, so this cannot deadlock.
+    MutexGuard lifecycle(lifecycleMutex_);
+    if (!running_)
+        return;
     {
-        std::lock_guard<std::mutex> lock(wakeMutex_);
-        if (!running_)
-            return;
+        MutexGuard lock(wakeMutex_);
         stopping_ = true;
     }
-    wake_.notify_all();
-    if (thread_.joinable())
-        thread_.join();
-    std::lock_guard<std::mutex> lock(wakeMutex_);
+    wake_.notifyAll();
+    thread_.join();
     running_ = false;
 }
 
@@ -58,7 +61,7 @@ Sampler::sampleOnce()
                     std::chrono::steady_clock::now() - epoch_)
                     .count();
     row.snapshot = registry_.snapshot();
-    std::lock_guard<std::mutex> lock(ringMutex_);
+    MutexGuard lock(ringMutex_);
     ring_.push_back(std::move(row));
     while (ring_.size() > config_.capacity) {
         ring_.pop_front();
@@ -69,14 +72,14 @@ Sampler::sampleOnce()
 std::vector<Sampler::Row>
 Sampler::rows() const
 {
-    std::lock_guard<std::mutex> lock(ringMutex_);
+    MutexGuard lock(ringMutex_);
     return std::vector<Row>(ring_.begin(), ring_.end());
 }
 
 uint64_t
 Sampler::dropped() const
 {
-    std::lock_guard<std::mutex> lock(ringMutex_);
+    MutexGuard lock(ringMutex_);
     return dropped_;
 }
 
@@ -84,12 +87,22 @@ void
 Sampler::loop()
 {
     const auto period = std::chrono::milliseconds(config_.periodMillis);
-    std::unique_lock<std::mutex> lock(wakeMutex_);
-    while (!stopping_) {
-        lock.unlock();
+    for (;;) {
+        {
+            MutexGuard lock(wakeMutex_);
+            if (stopping_)
+                return;
+        }
         sampleOnce();
-        lock.lock();
-        wake_.wait_for(lock, period, [this] { return stopping_; });
+        const auto deadline = std::chrono::steady_clock::now() + period;
+        MutexGuard lock(wakeMutex_);
+        while (!stopping_) {
+            if (wake_.waitUntil(wakeMutex_, deadline) ==
+                std::cv_status::timeout)
+                break;
+        }
+        if (stopping_)
+            return;
     }
 }
 

@@ -18,13 +18,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "neuro/common/mutex.h"
 #include "neuro/telemetry/metrics.h"
 
 namespace neuro {
@@ -81,15 +80,19 @@ class Sampler
     SamplerConfig config_;
     std::chrono::steady_clock::time_point epoch_;
 
-    mutable std::mutex ringMutex_;
-    std::deque<Row> ring_;
-    uint64_t dropped_ = 0;
+    mutable Mutex ringMutex_;
+    std::deque<Row> ring_ NEURO_GUARDED_BY(ringMutex_);
+    uint64_t dropped_ NEURO_GUARDED_BY(ringMutex_) = 0;
 
-    std::mutex wakeMutex_;
-    std::condition_variable wake_;
-    bool stopping_ = false;
-    bool running_ = false;
-    std::thread thread_;
+    /** Lock order: lifecycleMutex_ before wakeMutex_. start()/stop()
+     *  take both; the background loop takes only wakeMutex_, so
+     *  holding the lifecycle lock across join() cannot deadlock. */
+    Mutex lifecycleMutex_ NEURO_ACQUIRED_BEFORE(wakeMutex_);
+    Mutex wakeMutex_;
+    CondVar wake_;
+    bool stopping_ NEURO_GUARDED_BY(wakeMutex_) = false;
+    bool running_ NEURO_GUARDED_BY(lifecycleMutex_) = false;
+    std::thread thread_ NEURO_GUARDED_BY(lifecycleMutex_);
 };
 
 } // namespace telemetry

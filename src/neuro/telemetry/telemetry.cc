@@ -1,9 +1,9 @@
 #include "neuro/telemetry/telemetry.h"
 
 #include <fstream>
-#include <mutex>
 
 #include "neuro/common/logging.h"
+#include "neuro/common/mutex.h"
 #include "neuro/common/profile.h"
 #include "neuro/telemetry/export.h"
 #include "neuro/telemetry/metrics.h"
@@ -27,11 +27,11 @@ namespace {
  */
 struct GlobalTelemetry
 {
-    std::mutex mutex;
-    Sampler *sampler = nullptr;
-    TelemetryConfig config;
-    bool started = false;
-    bool active = false;
+    Mutex mutex;
+    Sampler *sampler NEURO_GUARDED_BY(mutex) = nullptr;
+    TelemetryConfig config NEURO_GUARDED_BY(mutex);
+    bool started NEURO_GUARDED_BY(mutex) = false;
+    bool active NEURO_GUARDED_BY(mutex) = false;
 };
 
 GlobalTelemetry &
@@ -80,7 +80,7 @@ bool
 startGlobalTelemetry(const TelemetryConfig &config)
 {
     GlobalTelemetry &g = state();
-    std::lock_guard<std::mutex> lock(g.mutex);
+    MutexGuard lock(g.mutex);
     if (g.started)
         return g.active;
     if (config.path.empty())
@@ -109,7 +109,7 @@ flushGlobalTelemetry()
     Sampler *sampler = nullptr;
     TelemetryConfig config;
     {
-        std::lock_guard<std::mutex> lock(g.mutex);
+        MutexGuard lock(g.mutex);
         if (!g.active)
             return;
         g.active = false;
@@ -148,7 +148,7 @@ bool
 globalTelemetryActive()
 {
     GlobalTelemetry &g = state();
-    std::lock_guard<std::mutex> lock(g.mutex);
+    MutexGuard lock(g.mutex);
     return g.active;
 }
 

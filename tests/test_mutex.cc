@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Runtime tests for the annotated synchronization wrappers
+ * (common/mutex.h). The Clang thread-safety attributes are checked at
+ * compile time (the `tsa` preset and the tests/tsa fixtures); this
+ * suite verifies the wrappers behave like the std primitives they
+ * wrap: mutual exclusion, guard scoping, condition-variable wakeups
+ * and timed waits.
+ */
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "neuro/common/mutex.h"
+
+using neuro::CondVar;
+using neuro::Mutex;
+using neuro::MutexGuard;
+
+TEST(Mutex, GuardProvidesMutualExclusion)
+{
+    Mutex mutex;
+    int counter = 0;
+    std::vector<std::thread> threads;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 2000;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                MutexGuard lock(mutex);
+                ++counter;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(Mutex, GuardReleasesAtScopeExit)
+{
+    Mutex mutex;
+    {
+        MutexGuard lock(mutex);
+    }
+    // Re-acquiring on the same thread only works if the guard above
+    // released; a leaked lock would deadlock (and trip the timeout).
+    MutexGuard lock(mutex);
+    SUCCEED();
+}
+
+TEST(CondVar, WaitWakesOnNotify)
+{
+    Mutex mutex;
+    CondVar cv;
+    bool ready = false;
+    std::thread waiter([&] {
+        MutexGuard lock(mutex);
+        while (!ready)
+            cv.wait(mutex);
+    });
+    {
+        MutexGuard lock(mutex);
+        ready = true;
+    }
+    cv.notifyOne();
+    waiter.join();
+    EXPECT_TRUE(ready);
+}
+
+TEST(CondVar, WaitUntilTimesOut)
+{
+    Mutex mutex;
+    CondVar cv;
+    MutexGuard lock(mutex);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(5);
+    // Nothing ever notifies: the wait must come back with timeout
+    // once the deadline passes (spurious wakeups return no_timeout,
+    // hence the loop).
+    for (;;) {
+        const std::cv_status status = cv.waitUntil(mutex, deadline);
+        if (status == std::cv_status::timeout)
+            break;
+        ASSERT_LT(std::chrono::steady_clock::now(),
+                  deadline + std::chrono::seconds(30));
+    }
+    EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+TEST(CondVar, WaitForWakesAllWaiters)
+{
+    Mutex mutex;
+    CondVar cv;
+    bool go = false;
+    int awake = 0;
+    std::vector<std::thread> waiters;
+    constexpr int kWaiters = 4;
+    waiters.reserve(kWaiters);
+    for (int i = 0; i < kWaiters; ++i) {
+        waiters.emplace_back([&] {
+            MutexGuard lock(mutex);
+            while (!go)
+                cv.wait(mutex);
+            ++awake;
+        });
+    }
+    {
+        MutexGuard lock(mutex);
+        go = true;
+    }
+    cv.notifyAll();
+    for (std::thread &t : waiters)
+        t.join();
+    EXPECT_EQ(awake, kWaiters);
+}

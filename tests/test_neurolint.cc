@@ -1,7 +1,7 @@
 /**
  * @file
  * Tests for the neurolint project linter: the tokenizer must not be
- * fooled by strings/comments, every rule R1-R5 must fire on a known-bad
+ * fooled by strings/comments, every rule R1-R8 must fire on a known-bad
  * snippet, every suppression must silence exactly its rule, and the
  * baseline must downgrade (not hide) pre-existing findings. The
  * checked-in fixtures under tools/neurolint/fixtures are replayed from
@@ -291,6 +291,132 @@ TEST(RuleR5, UntaggedLoopsAreNotChecked)
                     .empty());
 }
 
+// --- R6: raw mutex/CV types stay out of library code -------------------
+
+TEST(RuleR6, FiresOnRawStdMutexAndConditionVariable)
+{
+    const auto f = lintSource(
+        "src/neuro/serve/x.cc",
+        "class Q { std::mutex m_; std::condition_variable cv_;\n"
+        "          std::shared_mutex rw_; };");
+    EXPECT_EQ(rulesFired(f), (std::vector<std::string>{"R6", "R6", "R6"}));
+}
+
+TEST(RuleR6, WrapperTypesAndForeignNamespacesPass)
+{
+    EXPECT_TRUE(lintSource("src/neuro/serve/x.cc",
+                           "class Q { Mutex m_; CondVar cv_;\n"
+                           "          other::mutex weird_; };")
+                    .empty());
+}
+
+TEST(RuleR6, TestsBenchesToolsAndTheWrapperAreExempt)
+{
+    const std::string src = "std::mutex m; std::condition_variable cv;";
+    EXPECT_TRUE(lintSource("tests/test_x.cc", src).empty());
+    EXPECT_TRUE(lintSource("bench/bench_x.cpp", src).empty());
+    EXPECT_TRUE(lintSource("examples/quickstart.cpp", src).empty());
+    EXPECT_TRUE(lintSource("tools/neurocmp_cli.cpp", src).empty());
+    EXPECT_TRUE(lintSource("src/neuro/common/mutex.h",
+                           "#pragma once\n" + src)
+                    .empty());
+}
+
+TEST(RuleR6, IncludeDirectiveDoesNotFire)
+{
+    EXPECT_TRUE(lintSource("src/neuro/serve/x.cc",
+                           "#include <mutex>\nint v;\n")
+                    .empty());
+}
+
+// --- R7: critical sections are scoped, not hand-locked -----------------
+
+TEST(RuleR7, FiresOnManualLockUnlockPairs)
+{
+    const auto f = lintSource(
+        "src/neuro/serve/x.cc",
+        "void f(Mutex &m) { m.lock(); work(); m.unlock(); }");
+    EXPECT_EQ(rulesFired(f), (std::vector<std::string>{"R7", "R7"}));
+}
+
+TEST(RuleR7, FiresOnTryLockAndPointerReceivers)
+{
+    const auto f = lintSource("src/neuro/serve/x.cc",
+                              "void f(Mutex *m) { if (m->try_lock())\n"
+                              "    m->unlock(); }");
+    EXPECT_EQ(rulesFired(f), (std::vector<std::string>{"R7", "R7"}));
+}
+
+TEST(RuleR7, GuardsAndNonMemberNamesPass)
+{
+    // MutexGuard construction and a free function named lock() are
+    // not member .lock() calls.
+    EXPECT_TRUE(lintSource("src/neuro/serve/x.cc",
+                           "void f(Mutex &m) { MutexGuard lock(m);\n"
+                           "    lock_all(); }")
+                    .empty());
+    EXPECT_TRUE(lintSource("tests/test_x.cc",
+                           "void f(std::mutex &m) { m.lock(); }")
+                    .empty());
+}
+
+// --- R8: atomics spell their memory_order ------------------------------
+
+TEST(RuleR8, FiresOnDefaultSeqCstOperations)
+{
+    const auto f = lintSource(
+        "src/neuro/serve/x.cc",
+        "std::atomic<int> v{0};\n"
+        "void f() { v.store(1); v.fetch_add(2); v.exchange(3);\n"
+        "           int x = v.load(); (void)x; }");
+    EXPECT_EQ(rulesFired(f),
+              (std::vector<std::string>{"R8", "R8", "R8", "R8"}));
+}
+
+TEST(RuleR8, ExplicitOrdersPass)
+{
+    EXPECT_TRUE(lintSource(
+                    "src/neuro/serve/x.cc",
+                    "std::atomic<int> v{0};\n"
+                    "void f() { v.store(1, std::memory_order_release);\n"
+                    "    v.fetch_add(2, std::memory_order_relaxed);\n"
+                    "    int x = v.load(std::memory_order_acquire);\n"
+                    "    (void)x; }")
+                    .empty());
+}
+
+TEST(RuleR8, ArgTakingLoadNeedsAtomicReceiver)
+{
+    // Archive::load(path) takes an argument and the receiver is not a
+    // declared atomic: a file load, not an atomic read.
+    EXPECT_TRUE(lintSource("src/neuro/serve/x.cc",
+                           "bool f(Archive &archive, std::string p) {\n"
+                           "    return archive.load(p); }")
+                    .empty());
+    // Same shape on a declared atomic: C++26-style load(order) misuse
+    // aside, an argument that is not a memory_order still fires.
+    EXPECT_TRUE(fired(lintSource("src/neuro/serve/x.cc",
+                                 "std::atomic<int> v{0};\n"
+                                 "int f(int d) { return v.load(d); }"),
+                      "R8"));
+}
+
+TEST(RuleR8, ZeroArgLoadFiresEvenWithoutDeclaration)
+{
+    EXPECT_TRUE(fired(lintSource("src/neuro/serve/x.cc",
+                                 "int f(Flags &flags) {\n"
+                                 "    return flags.load(); }"),
+                      "R8"));
+}
+
+TEST(RuleR8, TestsAndBenchesAreExempt)
+{
+    const std::string src =
+        "std::atomic<int> v{0}; void f() { v.store(1); }";
+    EXPECT_TRUE(lintSource("tests/test_x.cc", src).empty());
+    EXPECT_TRUE(lintSource("bench/bench_x.cpp", src).empty());
+}
+
 // --- Suppressions ------------------------------------------------------
 
 TEST(Suppression, AllowSilencesOnlyItsRule)
@@ -322,6 +448,24 @@ TEST(Suppression, CommaListAndCaseInsensitivity)
     EXPECT_TRUE(lintSource("src/neuro/core/x.cc",
                            "// neurolint: allow(r1, R3)\n"
                            "int f() { std::cout << rand(); return 0; }")
+                    .empty());
+}
+
+TEST(Suppression, ConcurrencyRulesHonorAllow)
+{
+    EXPECT_TRUE(lintSource("src/neuro/serve/x.cc",
+                           "// neurolint: allow(R6)\n"
+                           "std::mutex m_;")
+                    .empty());
+    EXPECT_TRUE(lintSource("src/neuro/serve/x.cc",
+                           "void f(Mutex &m) {\n"
+                           "    m.lock(); // neurolint: allow(R7)\n"
+                           "}")
+                    .empty());
+    EXPECT_TRUE(lintSource("src/neuro/serve/x.cc",
+                           "std::atomic<int> v{0};\n"
+                           "// neurolint: allow(R8)\n"
+                           "void f() { v.store(1); }")
                     .empty());
 }
 
@@ -400,7 +544,10 @@ INSTANTIATE_TEST_SUITE_P(
                     FixtureCase{"bad_r2.cc", "R2", 3},
                     FixtureCase{"bad_r3.cc", "R3", 2},
                     FixtureCase{"bad_r4.h", "R4", 1},
-                    FixtureCase{"bad_r5.cc", "R5", 2}),
+                    FixtureCase{"bad_r5.cc", "R5", 2},
+                    FixtureCase{"bad_r6.cc", "R6", 3},
+                    FixtureCase{"bad_r7.cc", "R7", 2},
+                    FixtureCase{"bad_r8.cc", "R8", 3}),
     [](const testing::TestParamInfo<FixtureCase> &tpi) {
         return std::string(tpi.param.rule);
     });

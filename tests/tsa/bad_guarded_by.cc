@@ -1,0 +1,38 @@
+// Known-bad fixture for the thread-safety-analysis gate: reads and
+// writes a NEURO_GUARDED_BY member without holding its mutex. The
+// tsa.bad_guarded_by ctest asserts clang -Wthread-safety -Werror
+// REJECTS this file; if it starts compiling, the analysis (or the
+// macro layer) is off and the whole gate is vacuous.
+#include "neuro/common/mutex.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    incrementUnlocked()
+    {
+        ++value_; // BAD: writing guarded state without mutex_
+    }
+
+    int
+    readUnlocked() const
+    {
+        return value_; // BAD: reading guarded state without mutex_
+    }
+
+  private:
+    mutable neuro::Mutex mutex_;
+    int value_ NEURO_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.incrementUnlocked();
+    return c.readUnlocked();
+}

@@ -1,0 +1,52 @@
+// Known-bad fixture for the lock-order half of the thread-safety
+// gate (-Wthread-safety-beta): three mutexes carry the repo's
+// documented acquisition order — the serving stop/queue lock before
+// the server-state lock before the registry lock
+// (docs/static_analysis.md) — and takeInverted() acquires them
+// backwards. The tsa.bad_lock_order ctest asserts clang REJECTS this
+// file; if it compiles, the NEURO_ACQUIRED_BEFORE edges stopped being
+// checked and a real inversion (deadlock) would sail through too.
+#include "neuro/common/mutex.h"
+
+namespace {
+
+struct ServingLocks
+{
+    /** Outermost: admission queue (serve/queue.h). */
+    neuro::Mutex queueMutex NEURO_ACQUIRED_BEFORE(serverMutex);
+    /** Middle: server lifecycle/session state (serve/server.h). */
+    neuro::Mutex serverMutex NEURO_ACQUIRED_BEFORE(registryMutex);
+    /** Innermost: model registry (serve/registry.h). */
+    neuro::Mutex registryMutex;
+
+    int queued NEURO_GUARDED_BY(queueMutex) = 0;
+    int sessions NEURO_GUARDED_BY(serverMutex) = 0;
+    int models NEURO_GUARDED_BY(registryMutex) = 0;
+};
+
+int
+takeInOrder(ServingLocks &locks)
+{
+    neuro::MutexGuard queue(locks.queueMutex);
+    neuro::MutexGuard server(locks.serverMutex);
+    neuro::MutexGuard registry(locks.registryMutex);
+    return locks.queued + locks.sessions + locks.models;
+}
+
+int
+takeInverted(ServingLocks &locks)
+{
+    neuro::MutexGuard registry(locks.registryMutex);
+    neuro::MutexGuard server(locks.serverMutex); // BAD: after registry
+    neuro::MutexGuard queue(locks.queueMutex);   // BAD: innermost last
+    return locks.queued + locks.sessions + locks.models;
+}
+
+} // namespace
+
+int
+main()
+{
+    ServingLocks locks;
+    return takeInOrder(locks) + takeInverted(locks);
+}

@@ -1,0 +1,65 @@
+// Positive control for the thread-safety-analysis gate: a correctly
+// annotated component must compile CLEAN under
+//   clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror
+// (the tsa.good_annotations ctest). If this file starts warning, the
+// macros in common/thread_annotations.h regressed — fix them before
+// trusting the bad_*.cc rejections.
+#include <cstddef>
+#include <deque>
+
+#include "neuro/common/mutex.h"
+
+namespace {
+
+class Mailbox
+{
+  public:
+    void
+    post(int v)
+    {
+        {
+            neuro::MutexGuard lock(mutex_);
+            items_.push_back(v);
+        }
+        nonEmpty_.notifyOne();
+    }
+
+    int
+    take()
+    {
+        neuro::MutexGuard lock(mutex_);
+        while (items_.empty())
+            nonEmpty_.wait(mutex_);
+        const int v = items_.front();
+        items_.pop_front();
+        return v;
+    }
+
+    std::size_t
+    sizeLocked() const NEURO_REQUIRES(mutex_)
+    {
+        return items_.size();
+    }
+
+    std::size_t
+    size() const
+    {
+        neuro::MutexGuard lock(mutex_);
+        return sizeLocked();
+    }
+
+  private:
+    mutable neuro::Mutex mutex_;
+    neuro::CondVar nonEmpty_;
+    std::deque<int> items_ NEURO_GUARDED_BY(mutex_);
+};
+
+} // namespace
+
+int
+main()
+{
+    Mailbox box;
+    box.post(1);
+    return box.take() == 1 && box.size() == 0 ? 0 : 1;
+}

@@ -1,0 +1,23 @@
+// Known-bad fixture for R6: raw standard mutex types in library code
+// instead of the annotated neuro::Mutex/CondVar wrappers. The
+// neurolint ctest gate asserts this file FAILS the lint.
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+
+class SpikeMailbox
+{
+  public:
+    void
+    post(int spike)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inbox_.push(spike);
+        nonEmpty_.notify_one();
+    }
+
+  private:
+    std::mutex mutex_;               // R6: invisible to -Wthread-safety
+    std::condition_variable nonEmpty_; // R6: raw CV, use CondVar
+    std::queue<int> inbox_;
+};

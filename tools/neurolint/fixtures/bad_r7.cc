@@ -1,0 +1,26 @@
+// Known-bad fixture for R7: manual lock()/unlock() pairs instead of a
+// scoped MutexGuard — an early return or exception between the two
+// calls leaks the mutex. The neurolint ctest gate asserts this file
+// FAILS the lint.
+#include "neuro/common/mutex.h"
+
+namespace neuro {
+
+class WeightTable
+{
+  public:
+    double
+    read(int row)
+    {
+        mutex_.lock();               // R7: naked acquire
+        const double w = weights_[row % 4];
+        mutex_.unlock();             // R7: naked release
+        return w;
+    }
+
+  private:
+    Mutex mutex_;
+    double weights_[4] NEURO_GUARDED_BY(mutex_) = {};
+};
+
+} // namespace neuro

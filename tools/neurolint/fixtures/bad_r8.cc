@@ -1,0 +1,28 @@
+// Known-bad fixture for R8: atomic operations relying on the implicit
+// seq_cst default instead of spelling the intended memory_order. The
+// neurolint ctest gate asserts this file FAILS the lint.
+#include <atomic>
+#include <cstdint>
+
+class SpikeCounter
+{
+  public:
+    void
+    record()
+    {
+        fired_.fetch_add(1);         // R8: order not spelled
+        active_.store(true);         // R8: order not spelled
+    }
+
+    uint64_t
+    total() const
+    {
+        if (!active_.load())         // R8: order not spelled
+            return 0;
+        return fired_.load(std::memory_order_relaxed); // ok: explicit
+    }
+
+  private:
+    std::atomic<uint64_t> fired_{0};
+    std::atomic<bool> active_{false};
+};

@@ -41,7 +41,13 @@ const char *const kRuleHelp =
     "R4  pragma-once   headers carry #pragma once; with "
     "--self-sufficiency they also compile standalone\n"
     "R5  ordered-sum   loops tagged `// neurolint: ordered-sum` "
-    "accumulate in double only\n";
+    "accumulate in double only\n"
+    "R6  raw-mutex     no raw std::mutex/std::condition_variable in "
+    "library code — use neuro::Mutex/CondVar (common/mutex.h)\n"
+    "R7  manual-lock   no naked .lock()/.unlock()/.try_lock() — scope "
+    "critical sections with MutexGuard\n"
+    "R8  atomic-order  every std::atomic load/store/RMW passes an "
+    "explicit std::memory_order\n";
 
 bool
 lintableExtension(const fs::path &p)

@@ -52,6 +52,23 @@ ioExempt(const std::string &path)
            contains(path, "examples/");
 }
 
+/** Files exempt from the concurrency rules (R6-R8). Tests, benches,
+ *  examples and tools exercise raw primitives and default orderings
+ *  on purpose (e.g. stress harnesses poking std::mutex directly);
+ *  library code under src/ must go through the annotated wrappers.
+ *  common/mutex.h is the one sanctioned user of the raw primitives —
+ *  it is what wraps them. Fixture snippets stand in for library code
+ *  even though they live under tools/. */
+bool
+concurrencyExempt(const std::string &path)
+{
+    if (contains(path, "fixtures/"))
+        return false;
+    return contains(path, "tests/") || contains(path, "bench/") ||
+           contains(path, "examples/") || contains(path, "tools/") ||
+           contains(path, "common/mutex.");
+}
+
 /** Per-line suppressions: `// neurolint: allow(R1,R3)` silences those
  *  rules on its own line and on the line that follows. */
 struct Directives
@@ -372,6 +389,147 @@ ruleOrderedSum(const std::vector<Token> &code, const std::string &path,
     }
 }
 
+/** R6: raw standard mutex/CV types outside the annotated wrapper.
+ *  neuro::Mutex / MutexGuard / CondVar (common/mutex.h) carry the
+ *  Clang thread-safety capability attributes; a raw std::mutex member
+ *  is invisible to -Wthread-safety, so nothing checks that its
+ *  critical sections actually hold it. */
+void
+ruleRawMutex(const std::vector<Token> &code, const std::string &path,
+             const Directives &d, std::vector<Finding> &out)
+{
+    if (concurrencyExempt(path))
+        return;
+    static const char *const kTypes[] = {
+        "mutex",              "shared_mutex",
+        "recursive_mutex",    "timed_mutex",
+        "condition_variable", "condition_variable_any"};
+    for (std::size_t k = 3; k < code.size(); ++k) {
+        const Token &t = code[k];
+        if (t.kind != TokKind::Identifier)
+            continue;
+        bool match = false;
+        for (const char *name : kTypes)
+            match = match || t.text == name;
+        if (!match)
+            continue;
+        if (isPunct(code[k - 1], ':') && isPunct(code[k - 2], ':') &&
+            isIdent(code[k - 3], "std")) {
+            emit(out, d, "R6", path, t.line,
+                 "raw std::" + t.text + " — use the annotated "
+                 "neuro::Mutex/CondVar wrappers (common/mutex.h) so "
+                 "the thread-safety analysis can see the lock");
+        }
+    }
+}
+
+/** R7: manual .lock()/.unlock() calls outside the wrapper. RAII
+ *  (MutexGuard) keeps the release on every path — exceptions, early
+ *  returns — and is the shape the thread-safety analysis verifies; a
+ *  naked unlock() is exactly the leak the analysis exists to catch. */
+void
+ruleManualLock(const std::vector<Token> &code, const std::string &path,
+               const Directives &d, std::vector<Finding> &out)
+{
+    if (concurrencyExempt(path))
+        return;
+    for (std::size_t k = 1; k + 2 < code.size(); ++k) {
+        const Token &t = code[k];
+        if (t.kind != TokKind::Identifier ||
+            (t.text != "lock" && t.text != "unlock" &&
+             t.text != "try_lock"))
+            continue;
+        // Member call: `x.lock()` / `x->lock()` ('-','>' tokens).
+        if (!isPunct(code[k - 1], '.') && !isPunct(code[k - 1], '>'))
+            continue;
+        if (isPunct(code[k + 1], '(') && isPunct(code[k + 2], ')')) {
+            emit(out, d, "R7", path, t.line,
+                 "manual ." + t.text + "() — hold the mutex through a "
+                 "scoped MutexGuard (common/mutex.h) instead");
+        }
+    }
+}
+
+/** R8: atomic operations must spell their memory_order. A bare
+ *  x.load() defaults to seq_cst, which both hides the intended
+ *  ordering contract from the reader and pays a full fence on
+ *  weakly-ordered ISAs. Convention: relaxed for counters, documented
+ *  acquire/release where a write publishes data (docs/
+ *  static_analysis.md). */
+void
+ruleAtomicOrder(const std::vector<Token> &code, const std::string &path,
+                const Directives &d, std::vector<Finding> &out)
+{
+    if (concurrencyExempt(path))
+        return;
+
+    // Names declared as std::atomic<...> in this file, so the
+    // ambiguous `.load(args)` form can be receiver-checked —
+    // `archive.load(path)` is a file load, not an atomic read.
+    std::set<std::string> atomicNames;
+    for (std::size_t k = 0; k + 1 < code.size(); ++k) {
+        if (!isIdent(code[k], "atomic") || !isPunct(code[k + 1], '<'))
+            continue;
+        int depth = 0;
+        std::size_t close = code.size();
+        for (std::size_t j = k + 1; j < code.size(); ++j) {
+            if (isPunct(code[j], '<')) {
+                ++depth;
+            } else if (isPunct(code[j], '>') && --depth == 0) {
+                close = j;
+                break;
+            }
+        }
+        if (close + 1 < code.size() &&
+            code[close + 1].kind == TokKind::Identifier)
+            atomicNames.insert(code[close + 1].text);
+    }
+
+    static const char *const kOps[] = {
+        "store",     "exchange",  "fetch_add",
+        "fetch_sub", "fetch_and", "fetch_or",
+        "fetch_xor", "compare_exchange_weak",
+        "compare_exchange_strong", "test_and_set"};
+    for (std::size_t k = 1; k + 1 < code.size(); ++k) {
+        const Token &t = code[k];
+        if (t.kind != TokKind::Identifier)
+            continue;
+        if (!isPunct(code[k - 1], '.') && !isPunct(code[k - 1], '>'))
+            continue;
+        if (!isPunct(code[k + 1], '('))
+            continue;
+        bool isOp = false;
+        for (const char *op : kOps)
+            isOp = isOp || t.text == op;
+        const bool isLoad = t.text == "load";
+        if (!isOp && !isLoad)
+            continue;
+        const std::size_t close = matchExtent(code, k + 1);
+        bool ordered = false;
+        bool hasArgs = false;
+        for (std::size_t a = k + 2; a < close; ++a) {
+            hasArgs = true;
+            if (code[a].kind == TokKind::Identifier &&
+                code[a].text.rfind("memory_order", 0) == 0)
+                ordered = true;
+        }
+        if (ordered)
+            continue;
+        if (isLoad && hasArgs) {
+            // An argument-taking load() is only atomic when the
+            // receiver is a declared std::atomic in this file.
+            const bool named = isPunct(code[k - 1], '.') && k >= 2 &&
+                               code[k - 2].kind == TokKind::Identifier;
+            if (!named || atomicNames.count(code[k - 2].text) == 0)
+                continue;
+        }
+        emit(out, d, "R8", path, t.line,
+             "atomic ." + t.text + "() without an explicit "
+             "std::memory_order — spell the ordering (relaxed for "
+             "counters, acquire/release for publication)");
+    }
+}
+
 } // namespace
 
 std::vector<Finding>
@@ -393,6 +551,9 @@ lintSource(const std::string &path, const std::string &content)
     ruleIo(code, path, d, out);
     rulePragmaOnce(code, path, d, out);
     ruleOrderedSum(code, path, d, out);
+    ruleRawMutex(code, path, d, out);
+    ruleManualLock(code, path, d, out);
+    ruleAtomicOrder(code, path, d, out);
     return out;
 }
 

@@ -22,6 +22,19 @@
  *                      accumulate in double only — no float accumulators
  *                      or float casts mid-sum, which would break the
  *                      dense/event bit-identical contract.
+ *  - R6 `raw-mutex`:   no raw std::mutex / std::shared_mutex /
+ *                      std::condition_variable in library code — use
+ *                      the annotated neuro::Mutex/CondVar wrappers
+ *                      (common/mutex.h) that Clang -Wthread-safety
+ *                      understands. Tests/benches/examples/tools are
+ *                      exempt.
+ *  - R7 `manual-lock`: no naked .lock()/.unlock()/.try_lock() member
+ *                      calls outside the wrapper — critical sections
+ *                      are scoped with MutexGuard (RAII).
+ *  - R8 `atomic-order`: every std::atomic load/store/RMW passes an
+ *                      explicit std::memory_order (relaxed for
+ *                      counters, acquire/release for publication);
+ *                      bare seq_cst defaults hide the contract.
  *
  * Suppression: `// neurolint: allow(R1)` (or a comma list) on the same
  * or the preceding line silences those rules for that line. A baseline
@@ -39,14 +52,14 @@ namespace neurolint {
 
 struct Finding
 {
-    std::string rule;    // "R1".."R5"
+    std::string rule;    // "R1".."R8"
     std::string file;
     int line;
     std::string message;
     bool baselined = false;
 };
 
-/** Run all token-level rules (R1-R5 minus self-sufficiency) over one
+/** Run all token-level rules (R1-R8 minus self-sufficiency) over one
  *  source buffer. `path` drives the per-file exemptions. */
 std::vector<Finding> lintSource(const std::string &path,
                                 const std::string &content);
