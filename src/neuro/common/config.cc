@@ -25,6 +25,9 @@ knownFlags()
     static std::vector<std::string> flags = {
         "threads", "simd", "trace", "stats_dump", "metrics",
         "metrics_period_ms", "trace_requests", "quick", "help",
+        // Network serving / load-harness flags (neurocmp serve
+        // --listen, bench_serving_openloop; docs/serving.md).
+        "listen", "port", "host", "rate", "duration_s", "deadline_us",
     };
     return flags;
 }

@@ -1,0 +1,146 @@
+#include "neuro/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace neuro {
+namespace net {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &what)
+{
+    if (error != nullptr)
+        *error = what;
+}
+
+std::string
+sysError(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+NetClient::~NetClient() { close(); }
+
+bool
+NetClient::connect(const std::string &host, uint16_t port,
+                   std::string *error)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+        setError(error, sysError("socket"));
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        setError(error, "bad address '" + host + "'");
+        close();
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        setError(error, sysError("connect"));
+        close();
+        return false;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof one);
+    return true;
+}
+
+bool
+NetClient::sendRequest(const RequestFrame &frame, std::string *error)
+{
+    if (fd_ < 0) {
+        setError(error, "not connected");
+        return false;
+    }
+    std::vector<uint8_t> wire;
+    encodeRequest(frame, &wire);
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        const ssize_t w = ::send(fd_, wire.data() + sent,
+                                 wire.size() - sent, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, sysError("send"));
+            return false;
+        }
+        sent += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+NetClient::readResponse(ResponseFrame *response, std::string *error)
+{
+    std::vector<uint8_t> payload;
+    for (;;) {
+        const FrameDecoder::Result res = decoder_.next(&payload);
+        if (res == FrameDecoder::Result::Error) {
+            setError(error, decoder_.error());
+            return false;
+        }
+        if (res == FrameDecoder::Result::Frame) {
+            std::string parseError;
+            if (!parseResponse(payload.data(), payload.size(),
+                               response, &parseError)) {
+                setError(error, parseError);
+                return false;
+            }
+            return true;
+        }
+        if (fd_ < 0) {
+            setError(error, "not connected");
+            return false;
+        }
+        uint8_t buf[16384];
+        const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+        if (r > 0) {
+            decoder_.feed(buf, static_cast<std::size_t>(r));
+            continue;
+        }
+        if (r == 0) {
+            setError(error, "connection closed by server");
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        setError(error, sysError("recv"));
+        return false;
+    }
+}
+
+void
+NetClient::shutdownWrite()
+{
+    if (fd_ >= 0)
+        (void)::shutdown(fd_, SHUT_WR);
+}
+
+void
+NetClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace net
+} // namespace neuro

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Blocking client of the binary serving protocol (protocol.h) — the
+ * test and load-harness counterpart of NetServer.
+ *
+ * The two directions of the socket are independent: sendRequest()
+ * only writes, readResponse() only reads, and each direction keeps
+ * its own state (the decoder belongs to the read side). One sender
+ * thread and one reader thread may therefore use the same client
+ * concurrently — exactly the shape of an open-loop load generator,
+ * where sends are paced by a schedule and never wait on responses
+ * (bench/bench_serving_openloop.cpp). Two threads calling the *same*
+ * direction is not supported.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "neuro/net/protocol.h"
+
+namespace neuro {
+namespace net {
+
+/** Blocking TCP client speaking the length-prefixed frame protocol. */
+class NetClient
+{
+  public:
+    NetClient() = default;
+
+    /** Closes the socket if still open. */
+    ~NetClient();
+
+    NetClient(const NetClient &) = delete;
+    NetClient &operator=(const NetClient &) = delete;
+
+    /**
+     * Connect to @p host : @p port (IPv4 dotted host) with
+     * TCP_NODELAY set.
+     * @return false with @p error set on failure.
+     */
+    bool connect(const std::string &host, uint16_t port,
+                 std::string *error = nullptr);
+
+    /** @return true while the socket is open. */
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Serialize @p frame and write it fully (blocking).
+     * @return false with @p error set on transport failure.
+     */
+    bool sendRequest(const RequestFrame &frame,
+                     std::string *error = nullptr);
+
+    /**
+     * Block until one complete response frame arrives.
+     * @return false with @p error set on EOF, transport failure or a
+     *         malformed frame.
+     */
+    bool readResponse(ResponseFrame *response,
+                      std::string *error = nullptr);
+
+    /** Shut down the write side; the server sees EOF, flushes any
+     *  pending responses and closes. readResponse() keeps working
+     *  until the server's side of the stream ends. */
+    void shutdownWrite();
+
+    /** Close the socket. Idempotent. */
+    void close();
+
+  private:
+    int fd_ = -1;
+    FrameDecoder decoder_; ///< read-side state only.
+};
+
+} // namespace net
+} // namespace neuro

@@ -20,7 +20,9 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <utility>
 #include <vector>
 
 #include "neuro/common/mutex.h"
@@ -77,15 +79,31 @@ struct InferenceResult
     double totalMicros = 0.0;   ///< enqueue -> completion.
 };
 
-/** A queued request plus its completion promise and stage stamps. */
+/** A queued request plus its completion path and stage stamps. */
 struct PendingRequest
 {
     InferenceRequest request;
     std::promise<InferenceResult> promise;
+    /** Callback completion path (the network front end): when set,
+     *  fulfill() invokes it instead of the promise. Runs on whatever
+     *  thread fulfils the request — the dispatcher for executed or
+     *  expired requests, the submitter for rejections — so it must be
+     *  cheap and must not call back into the server. */
+    std::function<void(InferenceResult &&)> onComplete;
     ServeClock::time_point enqueueTime;
     /** When the batcher pulled the request off the queue (set by
      *  MicroBatcher::nextBatch; start of its batch-assembly stage). */
     ServeClock::time_point dequeueTime;
+
+    /** Deliver @p result through the request's completion path. */
+    void
+    fulfill(InferenceResult &&result)
+    {
+        if (onComplete)
+            onComplete(std::move(result));
+        else
+            promise.set_value(std::move(result));
+    }
 };
 
 /** Bounded, closeable MPMC request queue. */

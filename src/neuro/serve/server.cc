@@ -91,32 +91,47 @@ InferenceServer::~InferenceServer() { stop(); }
 std::future<InferenceResult>
 InferenceServer::submit(InferenceRequest request)
 {
-    NEURO_ASSERT(request.pixels.size() == primary_->inputSize(),
-                 "serve: request %llu has %zu pixels, backend wants %zu",
-                 (unsigned long long)request.id, request.pixels.size(),
-                 primary_->inputSize());
     PendingRequest pending;
     pending.request = std::move(request);
-    pending.enqueueTime = ServeClock::now();
     std::future<InferenceResult> future = pending.promise.get_future();
+    submitPending(std::move(pending));
+    return future;
+}
+
+void
+InferenceServer::submit(InferenceRequest request, CompletionFn onComplete)
+{
+    PendingRequest pending;
+    pending.request = std::move(request);
+    pending.onComplete = std::move(onComplete);
+    submitPending(std::move(pending));
+}
+
+void
+InferenceServer::submitPending(PendingRequest &&pending)
+{
+    NEURO_ASSERT(pending.request.pixels.size() == primary_->inputSize(),
+                 "serve: request %llu has %zu pixels, backend wants %zu",
+                 (unsigned long long)pending.request.id,
+                 pending.request.pixels.size(), primary_->inputSize());
+    pending.enqueueTime = ServeClock::now();
 
     if (queue_.push(std::move(pending))) {
         enqueued_.fetch_add(1, std::memory_order_relaxed);
         tm_.enqueued->inc();
         inflight_.fetch_add(1, std::memory_order_relaxed);
         obsCount("serve.enqueued");
-        return future;
+        return;
     }
-    // push() leaves the request untouched on rejection, so the promise
-    // is still ours to satisfy.
+    // push() leaves the request untouched on rejection, so the
+    // completion path is still ours to satisfy.
     rejected_.fetch_add(1, std::memory_order_relaxed);
     tm_.rejected->inc();
     obsCount("serve.rejected");
     InferenceResult result;
     result.id = pending.request.id;
     result.status = RequestStatus::Rejected;
-    pending.promise.set_value(result);
-    return future;
+    pending.fulfill(std::move(result));
 }
 
 void
@@ -218,7 +233,7 @@ InferenceServer::runBatch(std::vector<PendingRequest> &batch)
                 microsBetween(pending.dequeueTime, batchStart);
             result.totalMicros =
                 microsBetween(pending.enqueueTime, batchStart);
-            pending.promise.set_value(result);
+            pending.fulfill(std::move(result));
             inflight_.fetch_sub(1, std::memory_order_relaxed);
         } else {
             live.push_back(&pending);
@@ -315,7 +330,7 @@ InferenceServer::runBatch(std::vector<PendingRequest> &batch)
             tracer.asyncSpan("serve.compute", "serve", 'e', id,
                              batchEnd);
         }
-        pending.promise.set_value(result);
+        pending.fulfill(std::move(result));
     }
     windowCompleted_ += live.size();
     completed_.fetch_add(live.size(), std::memory_order_relaxed);

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <thread>
@@ -115,6 +116,20 @@ class InferenceServer
      */
     std::future<InferenceResult> submit(InferenceRequest request);
 
+    /** Completion callback type of the asynchronous submit path. */
+    using CompletionFn = std::function<void(InferenceResult &&)>;
+
+    /**
+     * Submit one request with callback completion — the form the
+     * network front end (net/frontend.h) uses, where a future-per-
+     * request would force a waiter thread per connection. @p
+     * onComplete always fires exactly once: on the dispatcher thread
+     * for executed or expired requests, or synchronously on this
+     * thread when admission rejects. It must be cheap and must not
+     * call back into this server (the dispatcher is not reentrant).
+     */
+    void submit(InferenceRequest request, CompletionFn onComplete);
+
     /**
      * Close admission, drain every queued request (expired ones are
      * still fulfilled, with RequestStatus::Expired), and join the
@@ -178,6 +193,7 @@ class InferenceServer
     void dispatchLoop();
     void runBatch(std::vector<PendingRequest> &batch);
     void updateSlo();
+    void submitPending(PendingRequest &&pending);
 
     std::shared_ptr<InferenceBackend> primary_;
     std::shared_ptr<InferenceBackend> fallback_;

@@ -9,6 +9,7 @@
  *   neurocmp train-snn  save=model.ncmp [train=N]  # train + save
  *   neurocmp eval-snn   load=model.ncmp [test=N]   # load + evaluate
  *   neurocmp serve      load=model.ncmp [requests=N batch=B]  # serving
+ *   neurocmp serve      load=model.ncmp --listen [--port=P]   # network
  *   neurocmp stats      [train=N test=N]           # observability demo
  *   neurocmp metrics    [format=prom|json]         # telemetry demo
  *
@@ -23,12 +24,15 @@
  * flags are needed (see docs/observability.md).
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <future>
 #include <iostream>
+#include <thread>
 
 #include "neuro/common/config.h"
 #include "neuro/common/logging.h"
@@ -45,6 +49,8 @@
 #include "neuro/cycle/folded_snn_sim.h"
 #include "neuro/kernels/kernels.h"
 #include "neuro/mlp/backprop.h"
+#include "neuro/net/frontend.h"
+#include "neuro/net/server.h"
 #include "neuro/serve/registry.h"
 #include "neuro/serve/server.h"
 #include "neuro/snn/serialize.h"
@@ -70,7 +76,9 @@ cmdList()
         "             load=<path> [backend=model|model.q8|model.wot]\n"
         "             [requests=N seed=S batch=B wait_us=U capacity=C\n"
         "             deadline_us=D slo_us=P fallback=0|1 inflight=K]\n"
-        "             (docs/serving.md)\n"
+        "             --listen [--host=A --port=P] serves every backend\n"
+        "             over the binary network protocol until SIGINT/\n"
+        "             SIGTERM (drains, then exits; docs/serving.md)\n"
         "  stats      run a small instrumented train + serving + "
         "folded-sim\n"
         "             demo and dump the profiler registry\n"
@@ -381,12 +389,94 @@ cmdEvalSnn(const Config &cfg)
     return 0;
 }
 
+/** The server `serve --listen` parks on, for the signal handler. */
+std::atomic<net::NetServer *> gListenServer{nullptr};
+volatile std::sig_atomic_t gStopSignal = 0;
+
+/**
+ * SIGINT/SIGTERM handler of `serve --listen`. Only async-signal-safe
+ * work happens here: record the signal and ask the server to stop
+ * (an atomic store plus an eventfd write). The main thread observes
+ * stopRequested(), runs the full drain — stop accepting, drain every
+ * model queue, flush outboxes — and then *returns from main*, so the
+ * registered observability exit hooks (metrics export, stats dump,
+ * trace finalize) run exactly as on a normal exit.
+ */
+extern "C" void
+handleStopSignal(int sig)
+{
+    gStopSignal = sig;
+    net::NetServer *server =
+        gListenServer.load(std::memory_order_relaxed);
+    if (server != nullptr)
+        server->requestStop();
+}
+
+/**
+ * `serve --listen`: serve every backend of the checkpoint over the
+ * binary network protocol (docs/serving.md, "Network protocol") until
+ * SIGINT/SIGTERM, then drain and report.
+ */
+int
+cmdServeListen(const Config &cfg, serve::ModelRegistry &registry,
+               const serve::ServeConfig &sc)
+{
+    net::ServeFrontend frontend(registry, sc);
+    net::NetServerConfig nc;
+    nc.host = cfg.getString("host", "127.0.0.1");
+    nc.port = static_cast<uint16_t>(cfg.getInt("port", 7411));
+    net::NetServer server(frontend, nc);
+    std::string error;
+    if (!server.start(&error))
+        fatal("cannot listen on %s:%d: %s", nc.host.c_str(),
+              static_cast<int>(nc.port), error.c_str());
+
+    gListenServer.store(&server, std::memory_order_release);
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+
+    std::string models;
+    for (const std::string &name : frontend.models())
+        models += (models.empty() ? "" : ", ") + name;
+    inform("serving %s on %s:%u (Ctrl-C to drain and exit)",
+           models.c_str(), nc.host.c_str(),
+           static_cast<unsigned>(server.port()));
+
+    while (!server.stopRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    inform("signal %d: draining...", static_cast<int>(gStopSignal));
+    server.stop(); // close doors, drain queues, flush outboxes.
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    gListenServer.store(nullptr, std::memory_order_release);
+
+    TextTable table("serving summary (network)");
+    table.setHeader({"Model", "Completed", "Rejected", "Expired"});
+    for (const std::string &name : frontend.models()) {
+        const serve::ServeCounters c =
+            frontend.server(name)->counters();
+        table.addRow({name,
+                      TextTable::num(
+                          static_cast<long long>(c.completed)),
+                      TextTable::num(
+                          static_cast<long long>(c.rejected)),
+                      TextTable::num(
+                          static_cast<long long>(c.expired))});
+    }
+    table.print(std::cout);
+    // Normal return: the observability exit hooks flush metrics,
+    // stats and traces (common/profile.h).
+    return 0;
+}
+
 /**
  * Closed-loop serving demo: load a checkpoint into the model registry,
  * stand up the micro-batching server over the chosen backend, replay
  * the workload's test set as a request trace with a bounded number of
  * requests in flight, and report throughput, latency percentiles and
- * the serving counters (docs/serving.md).
+ * the serving counters (docs/serving.md). With --listen the registry
+ * is served over TCP instead (cmdServeListen).
  */
 int
 cmdServe(const Config &cfg)
@@ -399,6 +489,17 @@ cmdServe(const Config &cfg)
     std::string error;
     if (registry.loadFile("model", path, &error).empty())
         fatal("cannot serve model: %s", error.c_str());
+
+    serve::ServeConfig listenConfig;
+    listenConfig.queueCapacity =
+        static_cast<std::size_t>(cfg.getInt("capacity", 1024));
+    listenConfig.batch.maxBatch =
+        static_cast<std::size_t>(cfg.getInt("batch", 8));
+    listenConfig.batch.maxWaitMicros = cfg.getInt("wait_us", 200);
+    listenConfig.sloP99Micros = cfg.getInt("slo_us", 0);
+    listenConfig.enableFallback = cfg.getInt("fallback", 0) != 0;
+    if (cfg.getInt("listen", 0) != 0)
+        return cmdServeListen(cfg, registry, listenConfig);
 
     const std::string backendName = cfg.getString("backend", "model");
     std::shared_ptr<serve::InferenceBackend> backend =
@@ -417,13 +518,7 @@ cmdServe(const Config &cfg)
                  backend->inputSize(), w.name.c_str(),
                  w.data.test.inputSize());
 
-    serve::ServeConfig sc;
-    sc.queueCapacity =
-        static_cast<std::size_t>(cfg.getInt("capacity", 1024));
-    sc.batch.maxBatch = static_cast<std::size_t>(cfg.getInt("batch", 8));
-    sc.batch.maxWaitMicros = cfg.getInt("wait_us", 200);
-    sc.sloP99Micros = cfg.getInt("slo_us", 0);
-    sc.enableFallback = cfg.getInt("fallback", 0) != 0;
+    const serve::ServeConfig sc = listenConfig;
 
     // The fallback is the checkpoint's cheaper sibling backend: the
     // first registered name that isn't the primary (model.wot for an
